@@ -1,0 +1,194 @@
+(* The bintuner command-line interface.
+
+     bintuner_cli compile  --bench 462.libquantum --profile gcc --preset O3
+     bintuner_cli tune     --bench coreutils --profile gcc
+     bintuner_cli diff     --bench openssl --profile llvm --from O3 --to O0
+     bintuner_cli ncd      --bench openssl --profile llvm --from O3 --to O0
+     bintuner_cli scan     --bench lightaidra
+     bintuner_cli list
+
+   Benchmarks are the built-in corpus; pass --source FILE to compile an
+   arbitrary MinC translation unit instead. *)
+
+open Cmdliner
+
+let profile_of = function
+  | "gcc" | "gcc-10.2" -> Toolchain.Flags.gcc
+  | "llvm" | "llvm-11.0" -> Toolchain.Flags.llvm
+  | s -> failwith ("unknown profile " ^ s ^ " (use gcc | llvm)")
+
+let arch_of = function
+  | "x86-64" -> Isa.Insn.X86_64
+  | "x86-32" -> Isa.Insn.X86_32
+  | "arm" -> Isa.Insn.Arm
+  | "mips" -> Isa.Insn.Mips
+  | s -> failwith ("unknown arch " ^ s)
+
+let load_program ~bench ~source =
+  match source with
+  | Some path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    ( Minic.Sema.analyze src,
+      {
+        Corpus.bname = Filename.basename path;
+        suite = Corpus.Coreutils;
+        source = src;
+        workloads = [ [| 0 |]; [| 7 |] ];
+      } )
+  | None ->
+    let b = Corpus.find bench in
+    (Corpus.program b, b)
+
+(* common options *)
+let bench_arg =
+  Arg.(value & opt string "462.libquantum" & info [ "bench" ] ~doc:"Corpus benchmark name.")
+
+let source_arg =
+  Arg.(value & opt (some file) None & info [ "source" ] ~doc:"MinC source file (overrides --bench).")
+
+let profile_arg =
+  Arg.(value & opt string "gcc" & info [ "profile" ] ~doc:"Compiler profile: gcc | llvm.")
+
+let arch_arg =
+  Arg.(value & opt string "x86-64" & info [ "arch" ] ~doc:"Target: x86-64 | x86-32 | arm | mips.")
+
+let compile_cmd =
+  let preset =
+    Arg.(value & opt string "O2" & info [ "preset" ] ~doc:"O0|O1|O2|O3|Os.")
+  in
+  let run bench source profile arch preset =
+    let program, b = load_program ~bench ~source in
+    let p = profile_of profile in
+    let bin = Toolchain.Pipeline.compile_preset p ~arch:(arch_of arch) preset program in
+    Printf.printf "%s %s %s (%s): %d bytes code, %d bytes data, %d functions\n"
+      b.Corpus.bname p.profile_name preset arch
+      (String.length bin.Isa.Binary.text)
+      (String.length bin.Isa.Binary.data)
+      (Array.length bin.Isa.Binary.functions);
+    let r = Vm.Machine.run bin ~input:(List.hd b.workloads) in
+    Printf.printf "run: exit=%d steps=%d output=%s" r.return_value r.steps
+      (Vir.Interp.output_to_string r.output)
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a benchmark at a preset and run it.")
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ preset)
+
+let tune_cmd =
+  let iterations =
+    Arg.(value & opt int 500 & info [ "max-iterations" ] ~doc:"GA evaluation budget.")
+  in
+  let db =
+    Arg.(value & opt (some string) None
+         & info [ "db" ] ~doc:"Append the run to this tuning-database file.")
+  in
+  let run bench source profile arch iterations db =
+    let _, b = load_program ~bench ~source in
+    let p = profile_of profile in
+    let termination =
+      { Ga.Genetic.default_termination with max_evaluations = iterations }
+    in
+    let r = Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination ~profile:p b in
+    Printf.printf "tuned %s with %s: %d iterations, fitness NCD %.3f, functional %b\n"
+      r.benchmark r.profile_name r.iterations r.best_ncd r.functional_ok;
+    List.iter (fun (n, v) -> Printf.printf "  %-3s fitness %.3f\n" n v) r.preset_ncd;
+    Printf.printf "flags: %s\n"
+      (String.concat " " (Bintuner.Tuner.flags_enabled p r.best_vector));
+    match db with
+    | None -> ()
+    | Some path ->
+      let existing = if Sys.file_exists path then Bintuner.Database.load path else [] in
+      Bintuner.Database.save path
+        (existing @ [ Bintuner.Database.of_result r p ]);
+      Printf.printf "run appended to %s\n" path
+  in
+  Cmd.v (Cmd.info "tune" ~doc:"Run BinTuner's iterative compilation on a benchmark.")
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ iterations $ db)
+
+let diff_cmd =
+  let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in
+  let b_ = Arg.(value & opt string "O0" & info [ "to" ] ~doc:"Second preset.") in
+  let run bench source profile arch a b_ =
+    let program, _ = load_program ~bench ~source in
+    let p = profile_of profile in
+    let arch = arch_of arch in
+    let ba = Toolchain.Pipeline.compile_preset p ~arch a program in
+    let bb = Toolchain.Pipeline.compile_preset p ~arch b_ program in
+    let d = Diffing.Binhunt.compare_binaries ba bb in
+    Printf.printf "BinHunt difference score (%s vs %s): %.3f\n" a b_ d.score;
+    Printf.printf "matched: %s\n"
+      (Diffing.Metrics.to_string (Diffing.Metrics.compute ba bb));
+    List.iter
+      (fun r ->
+        Printf.printf "  %-10s Precision@1 = %.2f (%d/%d)\n"
+          r.Diffing.Precision.tool r.precision r.hits r.total)
+      (Diffing.Precision.evaluate_all ba bb)
+  in
+  Cmd.v (Cmd.info "diff" ~doc:"Compare two presets with BinHunt and all diffing tools.")
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ a $ b_)
+
+let ncd_cmd =
+  let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in
+  let b_ = Arg.(value & opt string "O0" & info [ "to" ] ~doc:"Second preset.") in
+  let run bench source profile arch a b_ =
+    let program, _ = load_program ~bench ~source in
+    let p = profile_of profile in
+    let arch = arch_of arch in
+    let ba = Toolchain.Pipeline.compile_preset p ~arch a program in
+    let bb = Toolchain.Pipeline.compile_preset p ~arch b_ program in
+    Printf.printf "NCD(raw bytes)      = %.3f\n" (Bintuner.Tuner.ncd_of_binaries ba bb);
+    Printf.printf "NCD(opcode stream)  = %.3f (the tuner's fitness)\n"
+      (Bintuner.Tuner.fitness_of_binaries ba bb)
+  in
+  Cmd.v (Cmd.info "ncd" ~doc:"Normalized compression distance between two presets.")
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ a $ b_)
+
+let scan_cmd =
+  let run bench source profile arch =
+    let program, _ = load_program ~bench ~source in
+    let p = profile_of profile in
+    let arch = arch_of arch in
+    let reference = Toolchain.Pipeline.compile_preset p ~arch "O2" program in
+    let goodware =
+      List.map
+        (fun n ->
+          Toolchain.Pipeline.compile_preset p ~arch "O2"
+            (Corpus.program (Corpus.find n)))
+        [ "429.mcf"; "coreutils"; "openssl" ]
+    in
+    let fleet = Av.Scanner.train ~goodware ~seed:11 reference in
+    List.iter
+      (fun preset ->
+        let bin = Toolchain.Pipeline.compile_preset p ~arch preset program in
+        Printf.printf "%-3s detections: %d/%d\n" preset
+          (Av.Scanner.detections fleet bin)
+          Av.Scanner.fleet_size)
+      Toolchain.Flags.preset_names
+  in
+  Cmd.v (Cmd.info "scan" ~doc:"Train the AV fleet on the -O2 build and scan every preset.")
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun b ->
+        Printf.printf "%-18s %s\n" b.Corpus.bname (Corpus.suite_name b.suite))
+      Corpus.all;
+    Printf.printf "\nprofiles: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun p ->
+              Printf.sprintf "%s (%d flags)" p.Toolchain.Flags.profile_name
+                (Array.length p.flags))
+            Toolchain.Flags.profiles))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List corpus benchmarks and compiler profiles.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "bintuner_cli" ~version:"1.0.0"
+      ~doc:"Auto-tuning of binary code differences (PLDI'21 reproduction)."
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; diff_cmd; ncd_cmd; scan_cmd; list_cmd ]))

@@ -1,0 +1,72 @@
+(* Quickstart: compile a MinC program at two optimization levels, measure
+   how different the binaries are, then let BinTuner find a flag vector
+   that makes them even more different.
+
+     dune exec examples/quickstart.exe *)
+
+let source =
+  {|
+  int table[64];
+
+  int mix(int x) {
+    return (x * 31 + 7) ^ (x / 4);
+  }
+
+  int main() {
+    int acc = 0;
+    for (int i = 0; i < 64; i++) { table[i] = mix(i + input(0)); }
+    for (int i = 0; i < 64; i++) { acc += table[i] % 100; }
+    print_int(acc);
+    return 0;
+  }
+  |}
+
+let () =
+  (* 1. Parse, link the MinC stdlib, type-check. *)
+  let program = Minic.Sema.analyze source in
+
+  (* 2. Compile at -O0 and -O3 with the GCC-flavoured profile. *)
+  let profile = Toolchain.Flags.gcc in
+  let o0 = Toolchain.Pipeline.compile_preset profile "O0" program in
+  let o3 = Toolchain.Pipeline.compile_preset profile "O3" program in
+  Printf.printf "-O0: %4d bytes of code   -O3: %4d bytes of code\n"
+    (String.length o0.Isa.Binary.text)
+    (String.length o3.Isa.Binary.text);
+
+  (* 3. Both must behave identically — run them in the VX VM. *)
+  let run bin =
+    let r = Vm.Machine.run bin ~input:[| 9 |] in
+    (Vir.Interp.output_to_string r.output, r.steps)
+  in
+  let out0, steps0 = run o0 and out3, steps3 = run o3 in
+  assert (out0 = out3);
+  Printf.printf "output %s(-O3 runs %.1fx fewer instructions)\n" out0
+    (float_of_int steps0 /. float_of_int steps3);
+
+  (* 4. How different do the binaries look?  Two views: NCD over the raw
+     code bytes (BinTuner's fitness) and the BinHunt difference score
+     (the paper's reference metric). *)
+  Printf.printf "NCD(O3, O0)      = %.3f\n"
+    (Bintuner.Tuner.ncd_of_binaries o3 o0);
+  Printf.printf "BinHunt(O3, O0)  = %.3f\n" (Diffing.Binhunt.diff_score o3 o0);
+
+  (* 5. Ask BinTuner for a custom flag vector that beats -O3. *)
+  let bench =
+    {
+      Corpus.bname = "quickstart";
+      suite = Corpus.Coreutils;
+      source;
+      workloads = [ [| 0 |]; [| 9 |]; [| 255 |] ];
+    }
+  in
+  let result = Bintuner.Tuner.tune ~profile bench in
+  Printf.printf
+    "BinTuner: %d compilations, NCD %.3f (vs %.3f at -O3), functional: %b\n"
+    result.iterations result.best_ncd
+    (List.assoc "O3" result.preset_ncd)
+    result.functional_ok;
+  Printf.printf "BinHunt(tuned, O0) = %.3f\n"
+    (Diffing.Binhunt.diff_score result.refined_binary o0);
+  Printf.printf "flags: %s\n"
+    (String.concat " "
+       (Bintuner.Tuner.flags_enabled profile result.refined_vector))

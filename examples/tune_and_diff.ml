@@ -1,0 +1,54 @@
+(* The paper's core experiment on one benchmark: tune 462.libquantum
+   under the LLVM profile, then show what every diffing tool makes of the
+   result (Figure 5 + Figure 8 in miniature).
+
+     dune exec examples/tune_and_diff.exe [benchmark-name] *)
+
+let () =
+  let name =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "462.libquantum"
+  in
+  let bench = Corpus.find name in
+  let profile = Toolchain.Flags.llvm in
+  let program = Corpus.program bench in
+  let o0 = Toolchain.Pipeline.compile_preset profile "O0" program in
+
+  Printf.printf "== %s under %s ==\n%!" bench.bname profile.profile_name;
+
+  (* BinHunt scores of the default ladder *)
+  List.iter
+    (fun preset ->
+      let bin = Toolchain.Pipeline.compile_preset profile preset program in
+      Printf.printf "  BinHunt(%-2s vs O0) = %.3f   (NCD %.3f)\n%!" preset
+        (Diffing.Binhunt.diff_score bin o0)
+        (Bintuner.Tuner.ncd_of_binaries bin o0))
+    [ "O1"; "O2"; "O3"; "Os" ];
+
+  (* the tuned binary *)
+  let r = Bintuner.Tuner.tune ~profile bench in
+  Printf.printf
+    "  BinHunt(BinTuner vs O0) = %.3f   (NCD %.3f, %d iterations, functional %b)\n%!"
+    (Diffing.Binhunt.diff_score r.refined_binary o0)
+    r.best_ncd r.iterations r.functional_ok;
+
+  (* matched-representation ratios (the paper's Tables 7/8 view) *)
+  let m = Diffing.Metrics.compute r.refined_binary o0 in
+  Printf.printf "  matched (blocks, edges, funcs) vs O0: %s\n"
+    (Diffing.Metrics.to_string m);
+
+  (* every tool's Precision@1 against the tuned binary *)
+  Printf.printf "== Precision@1 of the diffing tools (tuned vs O0) ==\n";
+  List.iter
+    (fun report ->
+      Printf.printf "  %-10s %d/%d = %.2f\n" report.Diffing.Precision.tool
+        report.hits report.total report.precision)
+    (Diffing.Precision.evaluate_all r.refined_binary o0);
+
+  (* and against plain -O1, for contrast *)
+  let o1 = Toolchain.Pipeline.compile_preset profile "O1" program in
+  Printf.printf "== Precision@1 at -O1, for contrast ==\n";
+  List.iter
+    (fun report ->
+      Printf.printf "  %-10s %d/%d = %.2f\n" report.Diffing.Precision.tool
+        report.hits report.total report.precision)
+    (Diffing.Precision.evaluate_all o1 o0)

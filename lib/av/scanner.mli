@@ -1,0 +1,33 @@
+(** Anti-virus fleet simulation — the VirusTotal stand-in for Table 2 and
+    Figure 1(b).
+
+    A fleet of signature scanners is trained on a known-bad sample (the
+    default-compiled malware binary).  Three scanner classes reproduce
+    the mechanism the paper observed:
+
+    - code scanners (the majority) match opcode-kind subsequences of the
+      text section — robust to register renaming and nearby-default
+      recompiles, broken by BinTuner's pipeline-reshaping flag soups;
+    - data scanners match raw byte n-grams of the data section
+      (configuration strings, credential tables) — these survive any
+      recompilation, which is why "the rest of anti-virus scanners can
+      recognize the tuned samples" (§5.4);
+    - structure scanners match call-graph fingerprints — broken by
+      inlining and instrumentation. *)
+
+type fleet
+
+val fleet_size : int
+(** Number of scanners (≈ the VirusTotal engine count). *)
+
+val train : ?goodware:Isa.Binary.t list -> seed:int -> Isa.Binary.t -> fleet
+(** Build the fleet's signature database from a reference sample.
+    Candidate signatures also found in any [goodware] binary are
+    discarded and redrawn — the false-positive vetting every real AV
+    vendor performs. *)
+
+val detections : fleet -> Isa.Binary.t -> int
+(** How many scanners flag the sample. *)
+
+val detections_by_class : fleet -> Isa.Binary.t -> int * int * int
+(** (code, data, structure) scanner detections. *)

@@ -1,0 +1,115 @@
+type run = {
+  benchmark : string;
+  profile : string;
+  arch : string;
+  flag_names : string list;
+  entries : (bool array * float) list;
+  best : bool array;
+}
+
+let of_result (r : Tuner.result) (p : Toolchain.Flags.profile) =
+  {
+    benchmark = r.benchmark;
+    profile = r.profile_name;
+    arch = Isa.Insn.arch_name r.arch;
+    flag_names =
+      Array.to_list (Array.map (fun f -> f.Toolchain.Flags.name) p.flags);
+    entries = List.map (fun e -> (e.Tuner.vector, e.Tuner.ncd)) r.database;
+    best = r.best_vector;
+  }
+
+let vector_to_string v =
+  String.init (Array.length v) (fun i -> if v.(i) then '1' else '0')
+
+let vector_of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '1' -> true
+      | '0' -> false
+      | c -> failwith (Printf.sprintf "Database: bad vector bit %C" c))
+
+let save path runs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "run %s %s %s\n" r.benchmark r.profile r.arch;
+          Printf.fprintf oc "flags %s\n" (String.concat "," r.flag_names);
+          Printf.fprintf oc "best %s\n" (vector_to_string r.best);
+          List.iter
+            (fun (v, f) ->
+              Printf.fprintf oc "e %s %.6f\n" (vector_to_string v) f)
+            r.entries;
+          Printf.fprintf oc "end\n")
+        runs)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let runs = ref [] in
+      let current = ref None in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | [ "run"; benchmark; profile; arch ] ->
+             current :=
+               Some
+                 {
+                   benchmark;
+                   profile;
+                   arch;
+                   flag_names = [];
+                   entries = [];
+                   best = [||];
+                 }
+           | [ "flags"; names ] -> (
+             match !current with
+             | Some r ->
+               current :=
+                 Some { r with flag_names = String.split_on_char ',' names }
+             | None -> failwith "Database: flags before run")
+           | [ "best"; v ] -> (
+             match !current with
+             | Some r -> current := Some { r with best = vector_of_string v }
+             | None -> failwith "Database: best before run")
+           | [ "e"; v; f ] -> (
+             match !current with
+             | Some r ->
+               current :=
+                 Some
+                   {
+                     r with
+                     entries = (vector_of_string v, float_of_string f) :: r.entries;
+                   }
+             | None -> failwith "Database: entry before run")
+           | [ "end" ] -> (
+             match !current with
+             | Some r ->
+               runs := { r with entries = List.rev r.entries } :: !runs;
+               current := None
+             | None -> failwith "Database: end before run")
+           | [ "" ] -> ()
+           | _ -> failwith ("Database: bad line " ^ line)
+         done
+       with End_of_file -> ());
+      List.rev !runs)
+
+let flag_frequency r =
+  let ranked = List.sort (fun (_, a) (_, b) -> compare b a) r.entries in
+  let n = List.length ranked in
+  let top = max 1 (n / 10) in
+  let picked = List.filteri (fun i _ -> i < top) ranked in
+  let counts = Array.make (List.length r.flag_names) 0 in
+  List.iter
+    (fun (v, _) ->
+      Array.iteri (fun i on -> if on then counts.(i) <- counts.(i) + 1) v)
+    picked;
+  List.mapi
+    (fun i name -> (name, float_of_int counts.(i) /. float_of_int top))
+    r.flag_names
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

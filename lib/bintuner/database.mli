@@ -1,0 +1,30 @@
+(** The tuning database of the paper's Figure 4: "these data are stored
+    in a database for future exploration".
+
+    Stores, per (benchmark, profile, architecture) tuning run: every
+    evaluated flag vector with its fitness, plus the chosen best vector.
+    The format is a line-oriented text file so runs can be resumed,
+    compared across sessions, and mined for flag statistics without any
+    external dependency. *)
+
+type run = {
+  benchmark : string;
+  profile : string;
+  arch : string;
+  flag_names : string list;
+  entries : (bool array * float) list;  (** (vector, fitness) *)
+  best : bool array;
+}
+
+val of_result : Tuner.result -> Toolchain.Flags.profile -> run
+
+val save : string -> run list -> unit
+(** Write runs to a file (overwrites). *)
+
+val load : string -> run list
+(** Parse a database file.  Raises [Failure] on malformed input. *)
+
+val flag_frequency : run -> (string * float) list
+(** For each flag, the fraction of the run's top-decile (by fitness)
+    vectors that enable it — the "which options matter" mining the paper
+    uses the database for, sorted descending. *)

@@ -1,0 +1,70 @@
+(** BinTuner — the paper's primary contribution (§4).
+
+    The tuner searches a compiler profile's optimization-flag space with
+    the genetic algorithm, maximizing the Normalized Compression Distance
+    between each candidate binary's code section and the -O0 baseline
+    ("we take O0's binary code as the baseline to calculate NCD during
+    BinTuner's iterative compilation", §5.1).  Candidate vectors are
+    validated / repaired against the profile's flag constraints, every
+    compiled binary is recorded in an in-memory iteration database, and
+    the final outcome is checked for functional correctness on the
+    benchmark's test workloads in the VX virtual machine. *)
+
+type entry = {
+  vector : bool array;
+  ncd : float;
+}
+
+type result = {
+  benchmark : string;
+  profile_name : string;
+  arch : Isa.Insn.arch;
+  best_vector : bool array;
+      (** the highest-fitness vector — the paper's selection rule
+          ("the iterations showing the highest fitness function score") *)
+  best_binary : Isa.Binary.t;
+  best_ncd : float;  (** best fitness reached during the search *)
+  refined_vector : bool array;
+      (** the BinHunt-verified pick among the top-fitness candidates,
+          strata samples and the preset seeds (see DESIGN.md §5) — the
+          output used for the Figure 5 family of experiments *)
+  refined_binary : Isa.Binary.t;
+  preset_ncd : (string * float) list;
+      (** NCD vs O0 of every -Ox preset, for reference *)
+  iterations : int;  (** distinct compilations, as in Table 1 *)
+  history : (int * float) list;  (** best-so-far NCD per iteration *)
+  wall_seconds : float;
+  functional_ok : bool;  (** tuned binary passes all test workloads *)
+  database : entry list;  (** every (vector, fitness) evaluated *)
+}
+
+val ncd_of_binaries : Isa.Binary.t -> Isa.Binary.t -> float
+(** NCD between two binaries' raw code sections (the paper's formula,
+    verbatim). *)
+
+val code_stream : Isa.Binary.t -> string
+(** The canonical projection the fitness compresses: one byte per
+    instruction of the code section (its opcode class).  The paper
+    applies LZMA to the code section's raw bytes; the VX encoding carries
+    far less incidental byte-level redundancy than x86 machine code, so
+    compressing the raw bytes saturates NCD near 1.0 for every optimized
+    build.  The opcode-class projection restores LZMA-grade structural
+    signal while keeping the NCD-over-code-section mechanism intact
+    (substitution documented in DESIGN.md). *)
+
+val fitness_of_binaries : Isa.Binary.t -> Isa.Binary.t -> float
+(** NCD over {!code_stream} projections — BinTuner's fitness. *)
+
+val tune :
+  ?arch:Isa.Insn.arch ->
+  ?params:Ga.Genetic.params ->
+  ?termination:Ga.Genetic.termination ->
+  ?seed:int ->
+  profile:Toolchain.Flags.profile ->
+  Corpus.benchmark ->
+  result
+(** Run the full auto-tuning loop on one benchmark.  Deterministic for a
+    fixed [seed] (default 1). *)
+
+val flags_enabled : Toolchain.Flags.profile -> bool array -> string list
+(** Names of the flags a vector enables. *)

@@ -1,0 +1,320 @@
+(* LZ77 + order-0 adaptive arithmetic coding.
+
+   The token stream is: per position, either a literal byte or a
+   (length, distance) back-reference into a 32 KiB window.  Tokens are
+   entropy-coded with a carry-less range coder (Subbotin style, 32-bit
+   arithmetic done in OCaml's native ints with explicit masking) driven by
+   three adaptive frequency models: main (256 literals + match marker),
+   match length, and distance bucket; distance low bits are coded with a
+   fixed uniform model. *)
+
+let mask32 = 0xFFFFFFFF
+
+let top = 1 lsl 24
+
+let bot = 1 lsl 16
+
+(* ------------------------------------------------------------------ *)
+(* Range coder                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Encoder = struct
+  type t = {
+    buf : Buffer.t;
+    mutable low : int;
+    mutable range : int;
+  }
+
+  let create () = { buf = Buffer.create 1024; low = 0; range = mask32 }
+
+  let rec normalize t =
+    if t.low lxor ((t.low + t.range) land mask32) < top then begin
+      Buffer.add_char t.buf (Char.chr ((t.low lsr 24) land 0xFF));
+      t.range <- (t.range lsl 8) land mask32;
+      t.low <- (t.low lsl 8) land mask32;
+      normalize t
+    end
+    else if t.range < bot then begin
+      t.range <- (-t.low) land (bot - 1);
+      Buffer.add_char t.buf (Char.chr ((t.low lsr 24) land 0xFF));
+      t.range <- (t.range lsl 8) land mask32;
+      t.low <- (t.low lsl 8) land mask32;
+      normalize t
+    end
+
+  let encode t ~cum ~freq ~total =
+    t.range <- t.range / total;
+    t.low <- (t.low + (cum * t.range)) land mask32;
+    t.range <- (t.range * freq) land mask32;
+    normalize t
+
+  let finish t =
+    for _ = 1 to 4 do
+      Buffer.add_char t.buf (Char.chr ((t.low lsr 24) land 0xFF));
+      t.low <- (t.low lsl 8) land mask32
+    done;
+    Buffer.contents t.buf
+end
+
+module Decoder = struct
+  type t = {
+    src : string;
+    mutable pos : int;
+    mutable low : int;
+    mutable code : int;
+    mutable range : int;
+  }
+
+  let next_byte t =
+    if t.pos < String.length t.src then begin
+      let b = Char.code t.src.[t.pos] in
+      t.pos <- t.pos + 1;
+      b
+    end
+    else 0
+
+  let create src start =
+    let t = { src; pos = start; low = 0; code = 0; range = mask32 } in
+    for _ = 1 to 4 do
+      t.code <- ((t.code lsl 8) lor next_byte t) land mask32
+    done;
+    t
+
+  let rec normalize t =
+    if t.low lxor ((t.low + t.range) land mask32) < top then begin
+      t.code <- ((t.code lsl 8) lor next_byte t) land mask32;
+      t.range <- (t.range lsl 8) land mask32;
+      t.low <- (t.low lsl 8) land mask32;
+      normalize t
+    end
+    else if t.range < bot then begin
+      t.range <- (-t.low) land (bot - 1);
+      t.code <- ((t.code lsl 8) lor next_byte t) land mask32;
+      t.range <- (t.range lsl 8) land mask32;
+      t.low <- (t.low lsl 8) land mask32;
+      normalize t
+    end
+
+  let decode_freq t ~total =
+    t.range <- t.range / total;
+    let f = ((t.code - t.low) land mask32) / t.range in
+    min f (total - 1)
+
+  let decode_update t ~cum ~freq =
+    t.low <- (t.low + (cum * t.range)) land mask32;
+    t.range <- (t.range * freq) land mask32;
+    normalize t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive order-0 model                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Model = struct
+  type t = {
+    freq : int array;
+    mutable total : int;
+    increment : int;
+    limit : int;
+  }
+
+  let create n = { freq = Array.make n 1; total = n; increment = 24; limit = bot - 256 }
+
+  let rescale t =
+    t.total <- 0;
+    for i = 0 to Array.length t.freq - 1 do
+      t.freq.(i) <- (t.freq.(i) + 1) / 2;
+      t.total <- t.total + t.freq.(i)
+    done
+
+  let update t s =
+    t.freq.(s) <- t.freq.(s) + t.increment;
+    t.total <- t.total + t.increment;
+    if t.total > t.limit then rescale t
+
+  let cum_of t s =
+    let c = ref 0 in
+    for i = 0 to s - 1 do
+      c := !c + t.freq.(i)
+    done;
+    !c
+
+  let encode t enc s =
+    Encoder.encode enc ~cum:(cum_of t s) ~freq:t.freq.(s) ~total:t.total;
+    update t s
+
+  let decode t dec =
+    let f = Decoder.decode_freq dec ~total:t.total in
+    let s = ref 0 and c = ref 0 in
+    while !c + t.freq.(!s) <= f do
+      c := !c + t.freq.(!s);
+      incr s
+    done;
+    Decoder.decode_update dec ~cum:!c ~freq:t.freq.(!s);
+    update t !s;
+    !s
+end
+
+(* Raw bits through the coder with a uniform model. *)
+let encode_bits enc value nbits =
+  for i = nbits - 1 downto 0 do
+    let b = (value lsr i) land 1 in
+    Encoder.encode enc ~cum:b ~freq:1 ~total:2
+  done
+
+let decode_bits dec nbits =
+  let v = ref 0 in
+  for _ = 1 to nbits do
+    let f = Decoder.decode_freq dec ~total:2 in
+    let b = if f >= 1 then 1 else 0 in
+    Decoder.decode_update dec ~cum:b ~freq:1;
+    v := (!v lsl 1) lor b
+  done;
+  !v
+
+(* ------------------------------------------------------------------ *)
+(* LZ77 match finder                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let window_size = 32768
+
+let min_match = 3
+
+let max_match = 255 + min_match
+
+let hash_bits = 15
+
+let hash s i =
+  let a = Char.code s.[i]
+  and b = Char.code s.[i + 1]
+  and c = Char.code s.[i + 2] in
+  ((a lsl 10) lxor (b lsl 5) lxor c) land ((1 lsl hash_bits) - 1)
+
+(* Distance bucket: floor(log2 dist); extra bits reconstruct it exactly. *)
+let dist_bucket d =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 d 0
+
+type token =
+  | Literal of char
+  | Match of int * int  (** length, distance *)
+
+let tokenize s =
+  let n = String.length s in
+  let head = Array.make (1 lsl hash_bits) (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let tokens = ref [] in
+  let match_len i j =
+    let lim = min max_match (n - i) in
+    let rec go k = if k < lim && s.[i + k] = s.[j + k] then go (k + 1) else k in
+    go 0
+  in
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash s i in
+      prev.(i) <- head.(h);
+      head.(h) <- i
+    end
+  in
+  let i = ref 0 in
+  while !i < n do
+    let best_len = ref 0 and best_dist = ref 0 in
+    if !i + min_match <= n then begin
+      let h = hash s !i in
+      let cand = ref head.(h) and chain = ref 0 in
+      while !cand >= 0 && !chain < 64 do
+        let d = !i - !cand in
+        if d > 0 && d <= window_size then begin
+          let l = match_len !i !cand in
+          if l > !best_len then begin
+            best_len := l;
+            best_dist := d
+          end
+        end;
+        cand := prev.(!cand);
+        incr chain
+      done
+    end;
+    if !best_len >= min_match then begin
+      tokens := Match (!best_len, !best_dist) :: !tokens;
+      let stop = !i + !best_len in
+      (* Index the covered positions so later matches can reference them. *)
+      while !i < stop do
+        insert !i;
+        incr i
+      done
+    end
+    else begin
+      tokens := Literal s.[!i] :: !tokens;
+      insert !i;
+      incr i
+    end
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Container format                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let header_size = 4
+
+let put_u32 b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let get_u32 s off =
+  let byte i = Char.code s.[off + i] in
+  byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+
+let match_marker = 256
+
+let compress s =
+  let enc = Encoder.create () in
+  let main = Model.create 257 in
+  let len_model = Model.create (max_match - min_match + 1) in
+  let dist_model = Model.create 16 in
+  let emit = function
+    | Literal c -> Model.encode main enc (Char.code c)
+    | Match (len, dist) ->
+      Model.encode main enc match_marker;
+      Model.encode len_model enc (len - min_match);
+      let bucket = dist_bucket dist in
+      Model.encode dist_model enc bucket;
+      if bucket > 0 then encode_bits enc (dist - (1 lsl bucket)) bucket
+  in
+  List.iter emit (tokenize s);
+  let coded = Encoder.finish enc in
+  let out = Buffer.create (String.length coded + header_size) in
+  put_u32 out (String.length s);
+  Buffer.add_string out coded;
+  Buffer.contents out
+
+let decompress packed =
+  if String.length packed < header_size then
+    invalid_arg "Lz.decompress: truncated input";
+  let n = get_u32 packed 0 in
+  let dec = Decoder.create packed header_size in
+  let main = Model.create 257 in
+  let len_model = Model.create (max_match - min_match + 1) in
+  let dist_model = Model.create 16 in
+  let out = Buffer.create n in
+  while Buffer.length out < n do
+    let s = Model.decode main dec in
+    if s < match_marker then Buffer.add_char out (Char.chr s)
+    else begin
+      let len = Model.decode len_model dec + min_match in
+      let bucket = Model.decode dist_model dec in
+      let dist =
+        if bucket = 0 then 1 else (1 lsl bucket) + decode_bits dec bucket
+      in
+      let start = Buffer.length out - dist in
+      if start < 0 then invalid_arg "Lz.decompress: corrupt back-reference";
+      for k = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (start + k))
+      done
+    end
+  done;
+  Buffer.contents out
+
+let compressed_size s = String.length (compress s)

@@ -1,0 +1,22 @@
+(** Lossless compression used by the NCD fitness function.
+
+    Stands in for the paper's LZMA: an LZ77 match finder (hash-chained,
+    32 KiB window) whose token stream is entropy-coded with an order-0
+    adaptive arithmetic coder.  What NCD needs from the compressor is that
+    repeated structure compresses well — boilerplate O0 code has a much
+    higher compression ratio than heavily optimized, irregular code — and
+    this combination delivers that property. *)
+
+val compress : string -> string
+(** [compress s] returns the compressed representation of [s]. *)
+
+val decompress : string -> string
+(** Inverse of {!compress}.  Raises [Invalid_argument] on corrupt input.
+    Provided so tests can check the coder is genuinely lossless (NCD's
+    theoretical grounding requires a real compressor, not a size
+    estimator). *)
+
+val compressed_size : string -> int
+(** [compressed_size s = String.length (compress s)] but avoids
+    materializing the output buffer twice.  This is the [C(x)] of the NCD
+    formula. *)

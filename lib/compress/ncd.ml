@@ -1,0 +1,7 @@
+let distance_cached csize x y =
+  let cx = csize x and cy = csize y in
+  let cxy = Lz.compressed_size (x ^ y) in
+  let mn = min cx cy and mx = max cx cy in
+  if mx = 0 then 0.0 else float_of_int (cxy - mn) /. float_of_int mx
+
+let distance x y = distance_cached Lz.compressed_size x y

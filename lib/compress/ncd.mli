@@ -1,0 +1,18 @@
+(** Normalized Compression Distance (NCD) — BinTuner's fitness function.
+
+    NCD(x, y) = (C(x·y) − min(C(x), C(y))) / max(C(x), C(y))
+
+    where C is the compressed length under {!Lz} and x·y is concatenation.
+    The score approximates the (uncomputable) normalized information
+    distance grounded in Kolmogorov complexity: 0.0 for identical inputs,
+    approaching 1.0 as the inputs share no structure.  The paper computes
+    it over the raw bytes of the binaries' code sections. *)
+
+val distance : string -> string -> float
+(** [distance x y] — NCD of two byte strings.  Symmetric up to compressor
+    imperfection; 0.0 when both are empty. *)
+
+val distance_cached : (string -> int) -> string -> string -> float
+(** [distance_cached csize x y] uses [csize] for the two solo terms (so a
+    tuning loop can cache C(baseline)) and compresses only the
+    concatenation. *)

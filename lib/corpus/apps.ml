@@ -1,0 +1,285 @@
+(* Coreutils-8.30 and OpenSSL-1.1.1 stand-ins — the two programs the
+   paper uses for the tool-comparison experiments (Figure 8).
+
+   Coreutils is modelled busybox-style: one binary with many small
+   applets dispatched on input(0).  Its shape — dozens of small
+   single-purpose functions calling shared string helpers — is what makes
+   function inlining the dominant flag for it in the paper (Figure 7c).
+
+   OpenSSL is a crypto kernel suite: an MD5-flavoured compression
+   function, an RC4-flavoured stream cipher, modular exponentiation, and
+   Base64 — mostly straight-line arithmetic over tables, which gives the
+   vectorizer and peephole passes their bite. *)
+
+let coreutils =
+  {|
+int text[256] = "hello world from coreutils this is a line of sample text for the applets to chew on today";
+int buf[512];
+int sorted[256];
+
+int load_text() {
+  int n = 0;
+  while (text[n] != 0) { __mem[n] = text[n]; n++; }
+  __mem[n] = 0;
+  return n;
+}
+
+int applet_echo(int n) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) { print_char(__mem[i]); sum += __mem[i]; }
+  print_char(10);
+  return sum;
+}
+
+int applet_wc(int n) {
+  int words = 0;
+  int in_word = 0;
+  for (int i = 0; i < n; i++) {
+    if (__mem[i] == ' ') { in_word = 0; }
+    else if (!in_word) { in_word = 1; words++; }
+  }
+  return words * 1000 + n;
+}
+
+int applet_sort(int n) {
+  for (int i = 0; i < n; i++) { sorted[i] = __mem[i]; }
+  // insertion sort, the classic small-utility loop
+  for (int i = 1; i < n; i++) {
+    int key = sorted[i];
+    int j = i - 1;
+    while (j >= 0 && sorted[j] > key) {
+      sorted[j + 1] = sorted[j];
+      j--;
+    }
+    sorted[j + 1] = key;
+  }
+  int check = 0;
+  for (int i = 0; i < n; i++) { check = check * 31 + sorted[i]; }
+  return check & 0xFFFFFF;
+}
+
+int applet_uniq(int n) {
+  int distinct = 0;
+  int last = -1;
+  for (int i = 0; i < n; i++) {
+    if (sorted[i] != last) { distinct++; last = sorted[i]; }
+  }
+  return distinct;
+}
+
+int applet_tr(int n) {
+  // rot13 letters in place
+  for (int i = 0; i < n; i++) {
+    int ch = __mem[i];
+    if (ch >= 'a' && ch <= 'z') {
+      ch = (ch - 'a' + 13) % 26 + 'a';
+    }
+    __mem[i] = ch;
+  }
+  int check = 0;
+  for (int i = 0; i < n; i++) { check = check * 33 + __mem[i]; }
+  return check & 0xFFFFFF;
+}
+
+int applet_seq(int k) {
+  int sum = 0;
+  for (int i = 1; i <= k; i++) { sum += i; }
+  return sum;
+}
+
+int applet_factor(int v) {
+  int sig = 0;
+  int x = v;
+  int d = 2;
+  while (d * d <= x) {
+    while (x % d == 0) { sig = sig * 10 + d % 10; x = x / d; }
+    d++;
+  }
+  if (x > 1) { sig = sig * 10 + x % 10; }
+  return sig;
+}
+
+int applet_cksum(int n) {
+  int crc = 0;
+  for (int i = 0; i < n; i++) {
+    crc = crc ^ (__mem[i] << 8);
+    for (int b = 0; b < 8; b++) {
+      if (crc & 0x8000) { crc = (crc << 1) ^ 0x1021; }
+      else { crc = crc << 1; }
+      crc = crc & 0xFFFF;
+    }
+  }
+  return crc;
+}
+
+int applet_head(int n, int k) {
+  int check = 0;
+  int lim = min_(n, k);
+  for (int i = 0; i < lim; i++) { check += __mem[i] * (i + 1); }
+  return check;
+}
+
+int applet_tail(int n, int k) {
+  int check = 0;
+  int start = max_(0, n - k);
+  for (int i = start; i < n; i++) { check += __mem[i] * (i - start + 1); }
+  return check;
+}
+
+int applet_cut(int n) {
+  // fields 2 and 4, space-delimited
+  int field = 1;
+  int check = 0;
+  for (int i = 0; i < n; i++) {
+    if (__mem[i] == ' ') { field++; }
+    else if (field == 2 || field == 4) { check = check * 37 + __mem[i]; }
+  }
+  return check & 0xFFFFFF;
+}
+
+int applet_yes(int k) {
+  int acc = 0;
+  for (int i = 0; i < k; i++) { acc = acc * 2 + 'y'; acc = acc & 0xFFFFF; }
+  return acc;
+}
+
+int dispatch(int which, int n, int arg) {
+  switch (which % 12) {
+    case 0: return applet_echo(n);
+    case 1: return applet_wc(n);
+    case 2: return applet_sort(n);
+    case 3: return applet_uniq(n);
+    case 4: return applet_tr(n);
+    case 5: return applet_seq(arg + 50);
+    case 6: return applet_factor(arg * 91 + 1234);
+    case 7: return applet_cksum(n);
+    case 8: return applet_head(n, arg + 5);
+    case 9: return applet_tail(n, arg + 7);
+    case 10: return applet_cut(n);
+    default: return applet_yes(arg + 20);
+  }
+}
+
+int main() {
+  int n = load_text();
+  int acc = 0;
+  for (int a = 0; a < 12; a++) {
+    acc = (acc + dispatch(a + input(0), n, a + input(1))) & 0xFFFFFFF;
+  }
+  print_int(acc);
+  return 0;
+}
+|}
+
+let openssl =
+  {|
+int md_state[4];
+int sine[16] = {3614090360, 3905402710, 606105819, 3250441966,
+                4118548399, 1200080426, 2821735955, 4249261313,
+                1770035416, 2336552879, 4294925233, 2304563134,
+                1804603682, 4254626195, 2792965006, 1236535329};
+int sbox[256];
+int keybuf[16];
+int msg[64];
+
+int rotl(int x, int n) {
+  int lo = x & 0xFFFFFFFF;
+  return ((lo << n) | (lo >> (32 - n))) & 0xFFFFFFFF;
+}
+
+int md_round(int blocks) {
+  md_state[0] = 0x67452301;
+  md_state[1] = 0xefcdab89;
+  md_state[2] = 0x98badcfe;
+  md_state[3] = 0x10325476;
+  for (int blk = 0; blk < blocks; blk++) {
+    int a = md_state[0];
+    int b = md_state[1];
+    int c = md_state[2];
+    int d = md_state[3];
+    for (int i = 0; i < 32; i++) {
+      int f = (b & c) | (~b & d);
+      int g = (i * 5 + blk) & 15;
+      int tmp = d;
+      d = c;
+      c = b;
+      b = (b + rotl(a + f + sine[i & 15] + msg[(blk * 16 + g) & 63], (i & 3) * 5 + 7)) & 0xFFFFFFFF;
+      a = tmp;
+    }
+    md_state[0] = (md_state[0] + a) & 0xFFFFFFFF;
+    md_state[1] = (md_state[1] + b) & 0xFFFFFFFF;
+    md_state[2] = (md_state[2] + c) & 0xFFFFFFFF;
+    md_state[3] = (md_state[3] + d) & 0xFFFFFFFF;
+  }
+  return md_state[0] ^ md_state[1] ^ md_state[2] ^ md_state[3];
+}
+
+int rc4_setup(int keylen) {
+  for (int i = 0; i < 256; i++) { sbox[i] = i; }
+  int j = 0;
+  for (int i = 0; i < 256; i++) {
+    j = (j + sbox[i] + keybuf[i % keylen]) & 255;
+    int t = sbox[i];
+    sbox[i] = sbox[j];
+    sbox[j] = t;
+  }
+  return 0;
+}
+
+int rc4_stream(int n) {
+  int i = 0;
+  int j = 0;
+  int acc = 0;
+  for (int k = 0; k < n; k++) {
+    i = (i + 1) & 255;
+    j = (j + sbox[i]) & 255;
+    int t = sbox[i];
+    sbox[i] = sbox[j];
+    sbox[j] = t;
+    acc = (acc * 257 + sbox[(sbox[i] + sbox[j]) & 255]) & 0xFFFFFF;
+  }
+  return acc;
+}
+
+int mod_pow(int base, int exp, int modulus) {
+  int result = 1;
+  base = base % modulus;
+  while (exp > 0) {
+    if (exp & 1) { result = result * base % modulus; }
+    exp = exp >> 1;
+    base = base * base % modulus;
+  }
+  return result;
+}
+
+int base64_encode(int src, int n, int dst) {
+  int i = 0;
+  int o = dst;
+  while (i + 2 < n) {
+    int v = (__mem[src + i] << 16) | (__mem[src + i + 1] << 8) | __mem[src + i + 2];
+    __mem[o] = (v >> 18) & 63; o++;
+    __mem[o] = (v >> 12) & 63; o++;
+    __mem[o] = (v >> 6) & 63; o++;
+    __mem[o] = v & 63; o++;
+    i += 3;
+  }
+  __mem[o] = 0;
+  return o - dst;
+}
+
+int main() {
+  int seed = input(0) + 13;
+  for (int i = 0; i < 64; i++) { msg[i] = (seed * (i + 3) * 2654435761) & 0xFFFFFFFF; }
+  for (int i = 0; i < 16; i++) { keybuf[i] = (seed * 31 + i * 7) & 255; }
+  print_int(md_round(4));
+  rc4_setup(16);
+  print_int(rc4_stream(512));
+  print_int(mod_pow(seed + 5, 65537, 1000003));
+  for (int i = 0; i < 48; i++) { __mem[200 + i] = (seed + i * 11) & 255; }
+  int m = base64_encode(200, 48, 300);
+  int check = 0;
+  for (int i = 0; i < m; i++) { check = check * 67 + __mem[300 + i]; }
+  print_int(check & 0xFFFFFF);
+  return 0;
+}
+|}

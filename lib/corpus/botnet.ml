@@ -1,0 +1,243 @@
+(* Benign stand-ins for the IoT botnet programs of the paper's §5.4
+   (LightAidra, BASHLIFE) and the §2.4 Mirai provenance study.
+
+   Only the code *shape* matters for the detection / provenance
+   experiments: configuration-string tables in the data section, a
+   pseudo-random address scanner loop, a command dispatcher, and a
+   credential-list walker.  Nothing here performs any I/O beyond the
+   VX output buffer — the VX ISA has no network or filesystem at all. *)
+
+let lightaidra =
+  {|
+int cfg_server[32] = "irc.example.invalid:6667";
+int cfg_channel[12] = "#aidra";
+int cfg_nick[12] = "aidra-bot";
+int cred_user[64] = "admin root user guest admin support tech default";
+int scan_hits[32];
+int rngx = 0;
+
+int rnd() { rngx = rngx * 1103515245 + 12345; return (rngx >> 16) & 0x7FFF; }
+
+int checksum_config() {
+  int h = 0;
+  for (int i = 0; cfg_server[i] != 0; i++) { h = h * 131 + cfg_server[i]; }
+  for (int i = 0; cfg_channel[i] != 0; i++) { h = h * 131 + cfg_channel[i]; }
+  for (int i = 0; cfg_nick[i] != 0; i++) { h = h * 131 + cfg_nick[i]; }
+  return h & 0xFFFFFF;
+}
+
+int make_address() {
+  // classic class-range scanner: synthesize a dotted quad
+  int a = rnd() % 223 + 1;
+  int b = rnd() % 255;
+  int c = rnd() % 255;
+  int d = rnd() % 254 + 1;
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+int probe(int addr) {
+  // a fake reachability predicate over the address bits
+  int x = addr;
+  x = x ^ (x >> 13);
+  x = x * 2057 & 0xFFFFFF;
+  return (x & 63) == 7;
+}
+
+int try_credentials(int addr) {
+  int attempts = 0;
+  int i = 0;
+  while (cred_user[i] != 0) {
+    int h = addr;
+    while (cred_user[i] != 0 && cred_user[i] != ' ') {
+      h = h * 31 + cred_user[i];
+      i++;
+    }
+    attempts++;
+    if ((h & 255) == 13) { return attempts; }
+    if (cred_user[i] == ' ') { i++; }
+  }
+  return -attempts;
+}
+
+int scan_loop(int budget) {
+  int found = 0;
+  for (int k = 0; k < budget; k++) {
+    int addr = make_address();
+    if (probe(addr)) {
+      if (found < 32) { scan_hits[found] = addr; }
+      found++;
+      try_credentials(addr);
+    }
+  }
+  return found;
+}
+
+int handle_command(int cmd, int arg) {
+  switch (cmd) {
+    case 1: return scan_loop(arg);
+    case 2: return checksum_config();
+    case 3: { rngx = arg; return 0; }
+    case 4: { int s = 0; for (int i = 0; i < 32; i++) { s += scan_hits[i] & 255; } return s; }
+    case 5: return make_address() & 0xFFFF;
+    default: return -1;
+  }
+}
+
+int main() {
+  rngx = input(0) + 424242;
+  int acc = 0;
+  acc += handle_command(2, 0);
+  acc += handle_command(1, 600);
+  acc += handle_command(4, 0);
+  acc += handle_command(5, 0);
+  print_int(acc & 0xFFFFFFF);
+  return 0;
+}
+|}
+
+let bashlife =
+  {|
+int payload_stub[20] = "GET /shell?cd+/tmp";
+int agents[40] = "curl wget tftp ftpget busybox";
+int targets[512];
+int ntargets = 0;
+int rngx = 0;
+
+int rnd() { rngx = rngx * 2862933555777941757 + 1442695040888963407; return (rngx >> 33) & 0x7FFFFFFF; }
+
+int build_request(int dst, int host) {
+  int n = 0;
+  for (int i = 0; payload_stub[i] != 0; i++) { __mem[dst + n] = payload_stub[i]; n++; }
+  __mem[dst + n] = '0' + host % 10; n++;
+  __mem[dst + n] = 0;
+  return n;
+}
+
+int pick_agent(int which) {
+  int i = 0;
+  int idx = 0;
+  while (agents[i] != 0 && idx < which) {
+    if (agents[i] == ' ') { idx++; }
+    i++;
+  }
+  int h = 0;
+  while (agents[i] != 0 && agents[i] != ' ') { h = h * 37 + agents[i]; i++; }
+  return h & 0xFFFF;
+}
+
+int enqueue_targets(int n) {
+  for (int k = 0; k < n && ntargets < 512; k++) {
+    int t = rnd() & 0xFFFFFF;
+    // dedupe scan targets: linear membership test
+    int seen = 0;
+    for (int i = 0; i < ntargets; i++) {
+      if (targets[i] == t) { seen = 1; break; }
+    }
+    if (!seen) { targets[ntargets] = t; ntargets++; }
+  }
+  return ntargets;
+}
+
+int flood_simulation(int rounds) {
+  // shape of the traffic generator: tight checksum loop over a buffer
+  int acc = 0;
+  for (int r = 0; r < rounds; r++) {
+    int n = build_request(50, r);
+    for (int i = 0; i < n; i++) { acc = (acc + __mem[50 + i] * (r + 1)) & 0xFFFFF; }
+  }
+  return acc;
+}
+
+int main() {
+  rngx = input(0) + 777;
+  enqueue_targets(300);
+  int acc = ntargets;
+  acc += pick_agent(input(0) % 5);
+  acc += flood_simulation(40);
+  int sum = 0;
+  for (int i = 0; i < ntargets; i += 4) { sum += targets[i] & 1023; }
+  print_int(acc);
+  print_int(sum);
+  return 0;
+}
+|}
+
+let mirai =
+  {|
+int table_keys[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+int table_vals[256];
+int cred_pairs[96] = "root:xc3511 root:vizxv admin:admin root:888888 support:support";
+int state = 0;
+int rngx = 0;
+
+int rnd() { rngx = rngx * 1103515245 + 12345; return (rngx >> 16) & 0x7FFF; }
+
+int table_init(int seed) {
+  for (int i = 0; i < 256; i++) {
+    table_vals[i] = (seed * (i + 1) * 2654435761) & 0xFFFF;
+  }
+  return 0;
+}
+
+int table_retrieve(int key) {
+  // the famous mirai obfuscated config table: xor-decode on access
+  int v = table_vals[key & 255];
+  return v ^ 0xDEAD & 0xFFFF;
+}
+
+int scanner_next() {
+  int ip = rnd() << 16 | rnd();
+  // skip reserved ranges, mirai-style
+  int a = (ip >> 24) & 255;
+  if (a == 127 || a == 0 || a == 10 || a >= 224) { return 0; }
+  return ip;
+}
+
+int telnet_state_machine(int ip) {
+  int st = 0;
+  int tries = 0;
+  int i = 0;
+  while (st != 5 && tries < 12) {
+    switch (st) {
+      case 0: st = (ip & 7) == 3 ? 1 : 0; tries++; if (tries > 6 && st == 0) { return 0; } break;
+      case 1: { // pick credential pair
+        int h = 0;
+        while (cred_pairs[i] != 0 && cred_pairs[i] != ' ') { h = h * 41 + cred_pairs[i]; i++; }
+        if (cred_pairs[i] == ' ') { i++; }
+        else { i = 0; }
+        st = (h & 15) == 5 ? 3 : 2;
+        break;
+      }
+      case 2: st = 1; tries++; break;
+      case 3: st = 4; break;
+      case 4: st = 5; break;
+      default: st = 5; break;
+    }
+  }
+  return st == 5 ? 1 : 0;
+}
+
+int attack_udp_shape(int rounds) {
+  int acc = 0;
+  for (int r = 0; r < rounds; r++) {
+    int pkt = table_retrieve(r) ^ rnd();
+    acc = (acc + (pkt & 1023)) & 0xFFFFF;
+  }
+  return acc;
+}
+
+int main() {
+  rngx = input(0) + 31337;
+  table_init(input(0) + 9);
+  int infected = 0;
+  for (int k = 0; k < 400; k++) {
+    int ip = scanner_next();
+    if (ip != 0 && telnet_state_machine(ip)) { infected++; }
+  }
+  state = attack_udp_shape(200);
+  print_int(infected);
+  print_int(state);
+  print_int(table_retrieve(42));
+  return 0;
+}
+|}

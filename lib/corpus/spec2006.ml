@@ -1,0 +1,750 @@
+(* MinC stand-ins for the SPECint CPU2006 benchmarks the paper evaluates.
+   Each program reproduces the computational *shape* of its namesake —
+   the code structures that make particular optimizations fire on it —
+   at a scale the VX virtual machine executes in well under a second:
+
+   - 400.perlbench: hash table + switch-dispatched bytecode interpreter;
+   - 401.bzip2: run-length + move-to-front + order-0 frequency coding;
+   - 429.mcf: Bellman-Ford relaxation on a sparse network (the paper's
+     Figure 6d/7d subject: inlining + loop-invariant motion targets);
+   - 445.gobmk: board scanning with pattern matches (branchy, Figure 7b);
+   - 456.hmmer: Viterbi-style dynamic programming over row-major
+     matrices (unroll-and-jam / vectorization target);
+   - 458.sjeng: alpha-beta game-tree search (recursion, tail calls);
+   - 462.libquantum: quantum register simulation — element-wise state
+     updates, dot products, division by constants (the paper's headline
+     strength-reduction + vectorization case, Figure 6a/7a);
+   - 464.h264ref: SAD/DCT block kernels (vectorizable inner loops);
+   - 473.astar: grid shortest path with a linear-scan frontier;
+   - 483.xalancbmk: XML-ish tokenizer + tree builder (switch-heavy,
+     jump-table target). *)
+
+let perlbench_400 =
+  {|
+int hashtab[512];
+int hashval[512];
+int code[64] = {1,5,2,7,3,1,4,2,5,9,6,3,7,1,8,2,1,6,2,8,3,2,4,1,5,8,6,1,7,4,8,3,
+                1,9,2,3,3,8,4,6,5,2,6,7,7,9,8,8,1,1,2,4,3,5,4,9,5,7,6,6,7,2,8,5};
+int stack[64];
+
+int hash_key(int k) {
+  int h = k * 2654435761;
+  h = h ^ (h >> 16);
+  if (h < 0) { h = -h; }
+  return h % 509;
+}
+
+int ht_put(int k, int v) {
+  int h = hash_key(k);
+  int probes = 0;
+  while (hashtab[h] != 0 && hashtab[h] != k && probes < 512) {
+    h = (h + 1) % 512;
+    probes++;
+  }
+  hashtab[h] = k;
+  hashval[h] = v;
+  return probes;
+}
+
+int ht_get(int k) {
+  int h = hash_key(k);
+  int probes = 0;
+  while (probes < 512) {
+    if (hashtab[h] == k) { return hashval[h]; }
+    if (hashtab[h] == 0) { return -1; }
+    h = (h + 1) % 512;
+    probes++;
+  }
+  return -1;
+}
+
+int interp(int steps, int seed) {
+  int sp = 0;
+  int acc = seed;
+  int pc = 0;
+  while (steps > 0) {
+    int op = code[pc & 63];
+    pc++;
+    steps--;
+    switch (op) {
+      case 1: acc = acc + 1; break;
+      case 2: acc = acc * 3; break;
+      case 3: if (sp < 63) { stack[sp] = acc; sp++; } break;
+      case 4: if (sp > 0) { sp--; acc = acc + stack[sp]; } break;
+      case 5: acc = acc ^ 255; break;
+      case 6: acc = acc >> 1; break;
+      case 7: ht_put(acc & 1023, pc); break;
+      case 8: { int f = ht_get(acc & 1023); if (f > 0) { acc = acc + f; } break; }
+      case 9: acc = acc - 7; break;
+      default: acc = acc + op; break;
+    }
+    acc = acc & 0xFFFFFF;
+  }
+  return acc;
+}
+
+int main() {
+  int total = 0;
+  int seed = input(0) + 11;
+  for (int round = 0; round < 8; round++) {
+    total += interp(800, seed + round * 13);
+  }
+  for (int k = 1; k < 200; k++) { ht_put(k * 3, k * k); }
+  for (int k = 1; k < 200; k++) {
+    int v = ht_get(k * 3);
+    if (v != k * k) { total += 1000000; }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let bzip2_401 =
+  {|
+int src[1024];
+int rle[2048];
+int mtf[2048];
+int alphabet[256];
+int freq[256];
+
+int gen_input(int seed) {
+  int x = seed;
+  for (int i = 0; i < 1024; i++) {
+    x = x * 1103515245 + 12345;
+    int v = (x >> 16) & 15;
+    // runs: repeat previous value often
+    if ((x & 7) < 5 && i > 0) { v = src[i-1]; }
+    src[i] = v;
+  }
+  return 0;
+}
+
+int run_length_encode() {
+  int out = 0;
+  int i = 0;
+  while (i < 1024) {
+    int v = src[i];
+    int run = 1;
+    while (i + run < 1024 && src[i + run] == v && run < 255) { run++; }
+    rle[out] = v; out++;
+    rle[out] = run; out++;
+    i += run;
+  }
+  return out;
+}
+
+int move_to_front(int n) {
+  for (int i = 0; i < 256; i++) { alphabet[i] = i; }
+  for (int i = 0; i < n; i++) {
+    int v = rle[i] & 255;
+    int pos = 0;
+    while (alphabet[pos] != v) { pos++; }
+    mtf[i] = pos;
+    while (pos > 0) { alphabet[pos] = alphabet[pos - 1]; pos--; }
+    alphabet[0] = v;
+  }
+  return n;
+}
+
+int entropy_cost(int n) {
+  for (int i = 0; i < 256; i++) { freq[i] = 0; }
+  for (int i = 0; i < n; i++) { freq[mtf[i] & 255]++; }
+  int bits = 0;
+  for (int i = 0; i < 256; i++) {
+    int f = freq[i];
+    int symbits = 1;
+    int range = 2;
+    while (range < n && range <= f * 16) { range = range * 2; symbits++; }
+    bits += f * (17 - symbits);
+  }
+  return bits;
+}
+
+int main() {
+  gen_input(input(0) + 3);
+  int n = run_length_encode();
+  move_to_front(n);
+  int cost = entropy_cost(n);
+  print_int(n);
+  print_int(cost);
+  return 0;
+}
+|}
+
+let mcf_429 =
+  {|
+int arc_src[600];
+int arc_dst[600];
+int arc_cost[600];
+int dist[128];
+int pot[128];
+
+int build_network(int seed) {
+  int x = seed;
+  for (int a = 0; a < 600; a++) {
+    x = x * 48271 % 2147483647;
+    arc_src[a] = x % 128;
+    x = x * 48271 % 2147483647;
+    arc_dst[a] = x % 128;
+    x = x * 48271 % 2147483647;
+    arc_cost[a] = x % 100 + 1;
+  }
+  return 0;
+}
+
+int bellman_ford() {
+  for (int v = 0; v < 128; v++) { dist[v] = 1000000000; }
+  dist[0] = 0;
+  int changed = 1;
+  int rounds = 0;
+  while (changed && rounds < 128) {
+    changed = 0;
+    for (int a = 0; a < 600; a++) {
+      int u = arc_src[a];
+      int w = arc_dst[a];
+      int c = arc_cost[a];
+      if (dist[u] + c < dist[w]) {
+        dist[w] = dist[u] + c;
+        changed = 1;
+      }
+    }
+    rounds++;
+  }
+  return rounds;
+}
+
+int reduced_costs() {
+  // node potentials: the classic mcf price update
+  int total = 0;
+  for (int v = 0; v < 128; v++) { pot[v] = dist[v] < 1000000000 ? dist[v] : 0; }
+  for (int a = 0; a < 600; a++) {
+    int rc = arc_cost[a] + pot[arc_src[a]] - pot[arc_dst[a]];
+    if (rc < 0) { rc = -rc; }
+    total += rc % 97;
+  }
+  return total;
+}
+
+int main() {
+  build_network(input(0) + 17);
+  int rounds = bellman_ford();
+  int sum = 0;
+  for (int v = 0; v < 128; v++) {
+    if (dist[v] < 1000000000) { sum += dist[v]; }
+  }
+  print_int(rounds);
+  print_int(sum);
+  print_int(reduced_costs());
+  return 0;
+}
+|}
+
+let gobmk_445 =
+  {|
+int board[441];   // 21x21, border ring of -1
+int influence[441];
+int libs[441];
+int mark[441];
+
+int at(int row, int col) { return board[row * 21 + col]; }
+
+int setup(int seed) {
+  int x = seed;
+  for (int i = 0; i < 441; i++) { board[i] = 0; mark[i] = 0; }
+  for (int i = 0; i < 21; i++) {
+    board[i] = -1;
+    board[420 + i] = -1;
+    board[i * 21] = -1;
+    board[i * 21 + 20] = -1;
+  }
+  for (int k = 0; k < 140; k++) {
+    x = x * 69069 + 1;
+    int r = ((x >> 8) & 1023) % 19 + 1;
+    int c = ((x >> 18) & 1023) % 19 + 1;
+    board[r * 21 + c] = (x & 1) + 1;   // 1 = black, 2 = white
+  }
+  return 0;
+}
+
+int count_liberties(int row, int col) {
+  int p = row * 21 + col;
+  int n = 0;
+  if (board[p - 1] == 0) { n++; }
+  if (board[p + 1] == 0) { n++; }
+  if (board[p - 21] == 0) { n++; }
+  if (board[p + 21] == 0) { n++; }
+  return n;
+}
+
+int pattern_score(int row, int col) {
+  // 3x3 pattern hashing around a point, branch-heavy
+  int score = 0;
+  int me = at(row, col);
+  if (me <= 0) { return 0; }
+  int opp = 3 - me;
+  if (at(row-1, col) == opp && at(row+1, col) == opp) { score += 4; }
+  if (at(row, col-1) == opp && at(row, col+1) == opp) { score += 4; }
+  if (at(row-1, col-1) == me && at(row+1, col+1) == me) { score += 2; }
+  if (at(row-1, col+1) == me && at(row+1, col-1) == me) { score += 2; }
+  if (count_liberties(row, col) == 1) { score += 9; }
+  if (count_liberties(row, col) == 0) { score += 17; }
+  return score;
+}
+
+int flood_group(int row, int col, int color) {
+  // iterative flood fill with an explicit worklist
+  int work[441];
+  int wn = 0;
+  int size = 0;
+  work[wn] = row * 21 + col; wn++;
+  while (wn > 0) {
+    wn--;
+    int p = work[wn];
+    if (mark[p] || board[p] != color) { continue; }
+    mark[p] = 1;
+    size++;
+    work[wn] = p - 1; wn++;
+    work[wn] = p + 1; wn++;
+    work[wn] = p - 21; wn++;
+    work[wn] = p + 21; wn++;
+  }
+  return size;
+}
+
+int main() {
+  setup(input(0) + 5);
+  int total = 0;
+  for (int r = 1; r <= 19; r++) {
+    for (int c = 1; c <= 19; c++) {
+      influence[r * 21 + c] = pattern_score(r, c);
+      total += influence[r * 21 + c];
+    }
+  }
+  int groups = 0;
+  int biggest = 0;
+  for (int r = 1; r <= 19; r++) {
+    for (int c = 1; c <= 19; c++) {
+      int p = r * 21 + c;
+      if (board[p] > 0 && !mark[p]) {
+        int size = flood_group(r, c, board[p]);
+        groups++;
+        if (size > biggest) { biggest = size; }
+      }
+    }
+  }
+  print_int(total);
+  print_int(groups);
+  print_int(biggest);
+  return 0;
+}
+|}
+
+let hmmer_456 =
+  {|
+int emit[512];    // 32 states x 16 symbols, row-major
+int trans[1024];  // 32 x 32, row-major
+int vcur[32];
+int vprev[32];
+int seq[200];
+
+int setup(int seed) {
+  int x = seed;
+  for (int i = 0; i < 512; i++) { x = x * 1664525 + 1013904223; emit[i] = (x >> 20) & 63; }
+  for (int i = 0; i < 1024; i++) { x = x * 1664525 + 1013904223; trans[i] = (x >> 22) & 31; }
+  for (int i = 0; i < 200; i++) { x = x * 1664525 + 1013904223; seq[i] = (x >> 24) & 15; }
+  return 0;
+}
+
+int viterbi(int len) {
+  for (int s = 0; s < 32; s++) { vprev[s] = s == 0 ? 0 : -1000000; }
+  for (int t = 0; t < len; t++) {
+    int sym = seq[t];
+    for (int s = 0; s < 32; s++) {
+      int best = -1000000000;
+      for (int q = 0; q < 32; q++) {
+        int cand = vprev[q] - trans[q * 32 + s];
+        if (cand > best) { best = cand; }
+      }
+      vcur[s] = best + emit[s * 16 + sym];
+    }
+    for (int s = 0; s < 32; s++) { vprev[s] = vcur[s]; }
+  }
+  int best = -1000000000;
+  for (int s = 0; s < 32; s++) { if (vprev[s] > best) { best = vprev[s]; } }
+  return best;
+}
+
+int forward_sums(int len) {
+  // row-major matrix product shape: scores[i*w + j] (unroll-and-jam bait)
+  int acc = 0;
+  for (int i = 0; i < 32; i = i + 1) {
+    for (int j = 0; j < 32; j = j + 1) {
+      trans[i * 32 + j] = trans[i * 32 + j] + emit[(i & 31) * 16 + (j & 15)] * 2;
+    }
+  }
+  for (int i = 0; i < 1024; i++) { acc += trans[i]; }
+  return acc ^ len;
+}
+
+int main() {
+  setup(input(0) + 29);
+  print_int(viterbi(200));
+  print_int(forward_sums(200));
+  return 0;
+}
+|}
+
+let sjeng_458 =
+  {|
+int board[16];    // 4x4 tic-tac-toe variant
+int nodes = 0;
+
+int winner() {
+  for (int r = 0; r < 4; r++) {
+    int p = board[r * 4];
+    if (p != 0 && board[r*4+1] == p && board[r*4+2] == p && board[r*4+3] == p) { return p; }
+  }
+  for (int c = 0; c < 4; c++) {
+    int p = board[c];
+    if (p != 0 && board[4+c] == p && board[8+c] == p && board[12+c] == p) { return p; }
+  }
+  int p = board[0];
+  if (p != 0 && board[5] == p && board[10] == p && board[15] == p) { return p; }
+  p = board[3];
+  if (p != 0 && board[6] == p && board[9] == p && board[12] == p) { return p; }
+  return 0;
+}
+
+int eval_leaf() {
+  int score = 0;
+  for (int i = 0; i < 16; i++) {
+    int w = (i == 5 || i == 6 || i == 9 || i == 10) ? 3 : 1;
+    if (board[i] == 1) { score += w; }
+    if (board[i] == 2) { score -= w; }
+  }
+  return score;
+}
+
+int alphabeta(int depth, int alpha, int beta, int player) {
+  nodes++;
+  int w = winner();
+  if (w == 1) { return 1000 - depth; }
+  if (w == 2) { return -1000 + depth; }
+  if (depth >= 5) { return eval_leaf(); }
+  int moved = 0;
+  if (player == 1) {
+    int best = -100000;
+    for (int i = 0; i < 16; i++) {
+      if (board[i] == 0) {
+        moved = 1;
+        board[i] = 1;
+        int v = alphabeta(depth + 1, alpha, beta, 2);
+        board[i] = 0;
+        if (v > best) { best = v; }
+        if (best > alpha) { alpha = best; }
+        if (alpha >= beta) { break; }
+      }
+    }
+    if (!moved) { return eval_leaf(); }
+    return best;
+  }
+  int best = 100000;
+  for (int i = 0; i < 16; i++) {
+    if (board[i] == 0) {
+      moved = 1;
+      board[i] = 2;
+      int v = alphabeta(depth + 1, alpha, beta, 1);
+      board[i] = 0;
+      if (v < best) { best = v; }
+      if (best < beta) { beta = best; }
+      if (alpha >= beta) { break; }
+    }
+  }
+  if (!moved) { return eval_leaf(); }
+  return best;
+}
+
+int main() {
+  int seed = input(0);
+  for (int i = 0; i < 16; i++) { board[i] = 0; }
+  board[(seed * 7) & 15] = 1;
+  board[(seed * 13 + 3) & 15] = 2;
+  int v = alphabeta(0, -100000, 100000, 1);
+  print_int(v);
+  print_int(nodes);
+  return 0;
+}
+|}
+
+let libquantum_462 =
+  {|
+int state_re[1024];
+int state_im[1024];
+int scratch[1024];
+
+int init_state(int seed) {
+  int x = seed;
+  for (int i = 0; i < 1024; i++) {
+    x = x * 22695477 + 1;
+    state_re[i] = (x >> 16) & 255;
+    state_im[i] = (x >> 8) & 255;
+  }
+  return 0;
+}
+
+int gate_not(int target) {
+  int mask = 1 << target;
+  for (int i = 0; i < 1024; i++) { scratch[i] = state_re[i ^ mask]; }
+  for (int i = 0; i < 1024; i++) { state_re[i] = scratch[i]; }
+  for (int i = 0; i < 1024; i++) { scratch[i] = state_im[i ^ mask]; }
+  for (int i = 0; i < 1024; i++) { state_im[i] = scratch[i]; }
+  return 0;
+}
+
+int gate_phase() {
+  // element-wise map with strength-reduction bait: division by constants
+  for (int i = 0; i < 1024; i++) {
+    state_re[i] = state_re[i] * 3 - state_im[i] / 4;
+    state_im[i] = state_im[i] * 3 + state_re[i] / 8;
+  }
+  for (int i = 0; i < 1024; i++) {
+    state_re[i] = state_re[i] % 4096;
+    state_im[i] = state_im[i] % 4096;
+  }
+  return 0;
+}
+
+int norm() {
+  int acc = 0;
+  for (int i = 0; i < 1024; i++) {
+    acc += state_re[i] * state_re[i] + state_im[i] * state_im[i];
+  }
+  return acc;
+}
+
+int toffoli_count(int n) {
+  // the factorization-flavored control loop
+  int count = 0;
+  for (int a = 2; a < n; a++) {
+    int x = n;
+    while (x % a == 0 && x > 1) { x = x / a; count++; }
+  }
+  return count;
+}
+
+int main() {
+  init_state(input(0) + 41);
+  for (int round = 0; round < 6; round++) {
+    gate_not(round % 10);
+    gate_phase();
+  }
+  print_int(norm());
+  print_int(toffoli_count(360 + input(0)));
+  return 0;
+}
+|}
+
+let h264ref_464 =
+  {|
+int frame_a[1024];  // 32x32 row-major
+int frame_b[1024];
+int block[64];
+int coef[64];
+
+int fill(int seed) {
+  int x = seed;
+  for (int i = 0; i < 1024; i++) {
+    x = x * 134775813 + 1;
+    frame_a[i] = (x >> 16) & 255;
+    frame_b[i] = (frame_a[i] + ((x >> 8) & 7)) & 255;
+  }
+  return 0;
+}
+
+int sad_8x8(int ax, int ay, int bx, int by) {
+  int sum = 0;
+  for (int r = 0; r < 8; r++) {
+    for (int c = 0; c < 8; c++) {
+      int d = frame_a[(ay + r) * 32 + ax + c] - frame_b[(by + r) * 32 + bx + c];
+      sum += d < 0 ? -d : d;
+    }
+  }
+  return sum;
+}
+
+int motion_search() {
+  int best = 1000000000;
+  int where = 0;
+  for (int dy = 0; dy < 4; dy++) {
+    for (int dx = 0; dx < 4; dx++) {
+      int s = sad_8x8(8, 8, 8 + dx, 8 + dy);
+      if (s < best) { best = s; where = dy * 4 + dx; }
+    }
+  }
+  return best * 16 + where;
+}
+
+int dct_pass() {
+  for (int r = 0; r < 8; r++) {
+    for (int c = 0; c < 8; c++) { block[r * 8 + c] = frame_a[r * 32 + c]; }
+  }
+  // butterfly-ish rows
+  for (int r = 0; r < 8; r++) {
+    int base = r * 8;
+    for (int c = 0; c < 4; c++) {
+      int s = block[base + c] + block[base + 7 - c];
+      int d = block[base + c] - block[base + 7 - c];
+      coef[base + c] = s;
+      coef[base + 4 + c] = d * 2;
+    }
+  }
+  int acc = 0;
+  for (int i = 0; i < 64; i++) { acc += coef[i] * coef[i] / 16; }
+  return acc;
+}
+
+int main() {
+  fill(input(0) + 7);
+  print_int(motion_search());
+  print_int(dct_pass());
+  return 0;
+}
+|}
+
+let astar_473 =
+  {|
+int grid[1024];    // 32x32 costs
+int dist[1024];
+int open_[1024];
+int nopen = 0;
+
+int setup(int seed) {
+  int x = seed;
+  for (int i = 0; i < 1024; i++) {
+    x = x * 1103515245 + 12345;
+    grid[i] = ((x >> 16) & 7) + 1;
+    dist[i] = 1000000000;
+  }
+  return 0;
+}
+
+int push_open(int p) { open_[nopen] = p; nopen++; return nopen; }
+
+int pop_min() {
+  // linear scan frontier (the cache-hostile astar shape)
+  int besti = 0;
+  for (int i = 1; i < nopen; i++) {
+    if (dist[open_[i]] < dist[open_[besti]]) { besti = i; }
+  }
+  int p = open_[besti];
+  nopen--;
+  open_[besti] = open_[nopen];
+  return p;
+}
+
+int relax(int p, int q) {
+  if (q < 0 || q >= 1024) { return 0; }
+  int nd = dist[p] + grid[q];
+  if (nd < dist[q]) {
+    dist[q] = nd;
+    push_open(q);
+    return 1;
+  }
+  return 0;
+}
+
+int main() {
+  setup(input(0) + 19);
+  dist[0] = 0;
+  push_open(0);
+  int pops = 0;
+  while (nopen > 0 && pops < 4000) {
+    int p = pop_min();
+    pops++;
+    int r = p / 32;
+    int c = p % 32;
+    if (c > 0) { relax(p, p - 1); }
+    if (c < 31) { relax(p, p + 1); }
+    if (r > 0) { relax(p, p - 32); }
+    if (r < 31) { relax(p, p + 32); }
+  }
+  print_int(dist[1023]);
+  print_int(pops);
+  return 0;
+}
+|}
+
+let xalancbmk_483 =
+  {|
+int doc[600] = "<root><a x='1'><b>text</b></a><c/><a x='2'><b>more</b><b>here</b></a><d><e><f>deep</f></e></d></root>";
+int tag_depth = 0;
+int counts[8];
+
+int classify_char(int ch) {
+  switch (ch) {
+    case '<': return 1;
+    case '>': return 2;
+    case '/': return 3;
+    case '=': return 4;
+    case 39:  return 5;
+    case ' ': return 6;
+    case 0:   return 7;
+    case 'a': case 'b': case 'c': case 'd': case 'e': case 'f': case 'g':
+    case 'h': case 'i': case 'j': case 'k': case 'l': case 'm': case 'n':
+    case 'o': case 'p': case 'q': case 'r': case 's': case 't': case 'u':
+    case 'v': case 'w': case 'x': case 'y': case 'z': return 8;
+    case '0': case '1': case '2': case '3': case '4':
+    case '5': case '6': case '7': case '8': case '9': return 9;
+    default: return 10;
+  }
+}
+
+int tokenize() {
+  int i = 0;
+  int tokens = 0;
+  int maxdepth = 0;
+  while (doc[i] != 0 && i < 600) {
+    int cls = classify_char(doc[i]);
+    counts[cls & 7]++;
+    switch (cls) {
+      case 1: {
+        if (doc[i + 1] == '/') { tag_depth--; i++; }
+        else { tag_depth++; }
+        tokens++;
+        break;
+      }
+      case 2: tokens++; break;
+      case 3: { if (doc[i + 1] == '>') { tag_depth--; } break; }
+      case 8: {
+        while (classify_char(doc[i]) == 8) { i++; }
+        i--;
+        tokens++;
+        break;
+      }
+      case 9: {
+        int v = 0;
+        while (classify_char(doc[i]) == 9) { v = v * 10 + doc[i] - '0'; i++; }
+        i--;
+        tokens += v;
+        break;
+      }
+      default: break;
+    }
+    if (tag_depth > maxdepth) { maxdepth = tag_depth; }
+    i++;
+  }
+  return tokens * 100 + maxdepth;
+}
+
+int main() {
+  int reps = 20 + input(0);
+  int acc = 0;
+  for (int r = 0; r < reps; r++) {
+    tag_depth = 0;
+    acc = (acc + tokenize()) & 0xFFFFF;
+  }
+  print_int(acc);
+  for (int i = 0; i < 8; i++) { print_int(counts[i]); }
+  return 0;
+}
+|}

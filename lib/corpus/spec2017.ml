@@ -1,0 +1,700 @@
+(* MinC stand-ins for the SPECspeed 2017 Integer benchmarks.  Distinct
+   kernels from their CPU2006 cousins (the paper notes CPU2017 has larger
+   and more complex workloads):
+
+   - 600.perlbench_s: regex-like NFA matcher + string interpolation;
+   - 605.mcf_s: successive-shortest-path augmentation on a grid network;
+   - 620.omnetpp_s: discrete event simulation with a binary-heap future
+     event set and a switch-dispatched handler table;
+   - 623.xalancbmk_s: recursive-descent parser building a sibling/child
+     tree plus template-rule matching over it;
+   - 625.x264_s: quarter-pel interpolation + CABAC-ish bit cost model;
+   - 631.deepsjeng_s: board search with transposition table;
+   - 641.leela_s: Monte-Carlo playouts with an LCG and union-find;
+   - 648.exchange2_s: recursive sudoku-style backtracking;
+   - 657.xz_s: LZ77 hash-chain match finder (the paper's Table 7 CFG-edge
+     collapse subject). *)
+
+let perlbench_600 =
+  {|
+int text[256] = "the quick brown fox jumps over the lazy dog and runs far away into the dark forest tonight";
+int pattern[16] = "o?g";
+int nfa_hits = 0;
+
+int match_here(int t, int p) {
+  // tiny regex: literal chars, ? = any single char, * = any run
+  if (pattern[p] == 0) { return 1; }
+  if (pattern[p] == '*') {
+    int k = t;
+    while (text[k] != 0) {
+      if (match_here(k, p + 1)) { return 1; }
+      k++;
+    }
+    return match_here(k, p + 1);
+  }
+  if (text[t] == 0) { return 0; }
+  if (pattern[p] == '?' || pattern[p] == text[t]) {
+    return match_here(t + 1, p + 1);
+  }
+  return 0;
+}
+
+int search_all() {
+  int hits = 0;
+  for (int t = 0; text[t] != 0; t++) {
+    if (match_here(t, 0)) { hits++; }
+  }
+  return hits;
+}
+
+int interpolate(int seed) {
+  // build a string in __mem and checksum it
+  int out = 100;
+  int x = seed;
+  int n = 0;
+  for (int i = 0; text[i] != 0; i++) {
+    __mem[out + n] = text[i];
+    n++;
+    if (text[i] == ' ') {
+      x = x * 31 + i;
+      __mem[out + n] = '0' + (x & 7);
+      n++;
+    }
+  }
+  __mem[out + n] = 0;
+  int sum = 0;
+  for (int i = 0; i < n; i++) { sum = sum * 131 + __mem[out + i]; }
+  return sum & 0xFFFFFF;
+}
+
+int main() {
+  pattern[0] = 'o'; pattern[1] = '?'; pattern[2] = input(0) ? '*' : 'g';
+  pattern[3] = input(0) ? 'g' : 0; pattern[4] = 0;
+  print_int(search_all());
+  print_int(interpolate(input(0) + 23));
+  print_int(strlen(100));
+  return 0;
+}
+|}
+
+let mcf_605 =
+  {|
+int cap[1296];     // 36x36 grid arcs: right and down
+int flow[1296];
+int dist[650];
+int parent[650];
+int inqueue[650];
+int queue[4096];
+
+int node(int r, int c) { return r * 25 + c; }
+
+int setup(int seed) {
+  int x = seed;
+  for (int i = 0; i < 1296; i++) {
+    x = x * 48271 % 2147483647;
+    cap[i] = x % 6 + 1;
+    flow[i] = 0;
+  }
+  return 0;
+}
+
+int arc_right(int r, int c) { return r * 25 + c; }
+int arc_down(int r, int c) { return 648 + r * 25 + c; }
+
+int spfa(int n) {
+  for (int v = 0; v < 650; v++) { dist[v] = 1000000000; parent[v] = -1; inqueue[v] = 0; }
+  int head = 0;
+  int tail = 0;
+  dist[0] = 0;
+  queue[tail] = 0; tail++;
+  while (head < tail && tail < 4000) {
+    int u = queue[head]; head++;
+    inqueue[u] = 0;
+    int r = u / 25;
+    int c = u % 25;
+    if (c < 24 && cap[arc_right(r, c)] > flow[arc_right(r, c)]) {
+      int w = node(r, c + 1);
+      if (dist[u] + 1 < dist[w]) {
+        dist[w] = dist[u] + 1;
+        parent[w] = u;
+        if (!inqueue[w]) { queue[tail] = w; tail++; inqueue[w] = 1; }
+      }
+    }
+    if (r < 24 && cap[arc_down(r, c)] > flow[arc_down(r, c)]) {
+      int w = node(r + 1, c);
+      if (dist[u] + 1 < dist[w]) {
+        dist[w] = dist[u] + 1;
+        parent[w] = u;
+        if (!inqueue[w]) { queue[tail] = w; tail++; inqueue[w] = 1; }
+      }
+    }
+  }
+  return dist[n];
+}
+
+int augment(int n) {
+  // push one unit along the parent chain
+  int v = n;
+  int pushed = 0;
+  while (parent[v] >= 0) {
+    int u = parent[v];
+    int r = u / 25;
+    int c = u % 25;
+    if (v == node(r, c + 1)) { flow[arc_right(r, c)]++; }
+    else { flow[arc_down(r, c)]++; }
+    v = u;
+    pushed++;
+  }
+  return pushed;
+}
+
+int main() {
+  setup(input(0) + 31);
+  int sink = node(24, 24);
+  int total = 0;
+  int units = 0;
+  for (int it = 0; it < 12; it++) {
+    int d = spfa(sink);
+    if (d >= 1000000000) { break; }
+    total += d;
+    units += augment(sink);
+  }
+  print_int(total);
+  print_int(units);
+  return 0;
+}
+|}
+
+let omnetpp_620 =
+  {|
+int heap_time[512];
+int heap_kind[512];
+int heap_node[512];
+int heap_n = 0;
+int node_state[64];
+int delivered = 0;
+int rngx = 0;
+
+int rnd(int bound) {
+  rngx = rngx * 1103515245 + 12345;
+  int v = (rngx >> 16) & 0x7FFF;
+  return v % bound;
+}
+
+int heap_push(int t, int kind, int node) {
+  int i = heap_n;
+  heap_n++;
+  heap_time[i] = t; heap_kind[i] = kind; heap_node[i] = node;
+  while (i > 0) {
+    int p = (i - 1) / 2;
+    if (heap_time[p] <= heap_time[i]) { break; }
+    int tt = heap_time[p]; heap_time[p] = heap_time[i]; heap_time[i] = tt;
+    tt = heap_kind[p]; heap_kind[p] = heap_kind[i]; heap_kind[i] = tt;
+    tt = heap_node[p]; heap_node[p] = heap_node[i]; heap_node[i] = tt;
+    i = p;
+  }
+  return heap_n;
+}
+
+int heap_pop() {
+  int best = heap_time[0] * 4096 + heap_kind[0] * 64 + heap_node[0];
+  heap_n--;
+  heap_time[0] = heap_time[heap_n];
+  heap_kind[0] = heap_kind[heap_n];
+  heap_node[0] = heap_node[heap_n];
+  int i = 0;
+  while (1) {
+    int l = i * 2 + 1;
+    int r = l + 1;
+    int m = i;
+    if (l < heap_n && heap_time[l] < heap_time[m]) { m = l; }
+    if (r < heap_n && heap_time[r] < heap_time[m]) { m = r; }
+    if (m == i) { break; }
+    int tt = heap_time[m]; heap_time[m] = heap_time[i]; heap_time[i] = tt;
+    tt = heap_kind[m]; heap_kind[m] = heap_kind[i]; heap_kind[i] = tt;
+    tt = heap_node[m]; heap_node[m] = heap_node[i]; heap_node[i] = tt;
+    i = m;
+  }
+  return best;
+}
+
+int handle(int t, int kind, int node) {
+  switch (kind) {
+    case 0: {  // packet arrival: forward to a neighbour
+      node_state[node] += 1;
+      delivered++;
+      if (heap_n < 500 && t < 4000) {
+        heap_push(t + rnd(9) + 1, rnd(3), (node + 1 + rnd(5)) % 64);
+      }
+      break;
+    }
+    case 1: {  // timer: maybe emit two packets
+      if (heap_n < 499 && t < 4000) {
+        heap_push(t + 2 + rnd(5), 0, rnd(64));
+        heap_push(t + 3 + rnd(7), 0, rnd(64));
+      }
+      break;
+    }
+    case 2: {  // state decay
+      node_state[node] = node_state[node] / 2;
+      break;
+    }
+    default: break;
+  }
+  return 0;
+}
+
+int main() {
+  rngx = input(0) + 97;
+  for (int i = 0; i < 20; i++) { heap_push(rnd(20), rnd(3), rnd(64)); }
+  int events = 0;
+  while (heap_n > 0 && events < 6000) {
+    int packed = heap_pop();
+    handle(packed / 4096, packed / 64 % 64 % 3, packed % 64);
+    events++;
+  }
+  int sum = 0;
+  for (int i = 0; i < 64; i++) { sum += node_state[i] * (i + 1); }
+  print_int(events);
+  print_int(delivered);
+  print_int(sum);
+  return 0;
+}
+|}
+
+let xalancbmk_623 =
+  {|
+int doc[700] = "(section(title)(para)(para(bold)(ital))(list(item)(item)(item(link)))(table(row(cell)(cell))(row(cell)(cell))))";
+int node_tag[256];
+int node_child[256];
+int node_sibling[256];
+int nnodes = 0;
+int pos = 0;
+
+int new_node(int tag) {
+  int n = nnodes;
+  nnodes++;
+  node_tag[n] = tag;
+  node_child[n] = -1;
+  node_sibling[n] = -1;
+  return n;
+}
+
+int parse_node() {
+  // doc[pos] == '('
+  pos++;
+  int tag = 0;
+  while (doc[pos] >= 'a' && doc[pos] <= 'z') {
+    tag = tag * 31 + doc[pos];
+    pos++;
+  }
+  int me = new_node(tag & 0xFFFF);
+  int last_child = -1;
+  while (doc[pos] == '(' && nnodes < 250) {
+    int child = parse_node();
+    if (last_child < 0) { node_child[me] = child; }
+    else { node_sibling[last_child] = child; }
+    last_child = child;
+  }
+  if (doc[pos] == ')') { pos++; }
+  return me;
+}
+
+int count_matches(int n, int tag) {
+  if (n < 0) { return 0; }
+  int self = node_tag[n] == tag ? 1 : 0;
+  return self + count_matches(node_child[n], tag) + count_matches(node_sibling[n], tag);
+}
+
+int depth_of(int n) {
+  if (n < 0) { return 0; }
+  int d = 1 + depth_of(node_child[n]);
+  int s = depth_of(node_sibling[n]);
+  return d > s ? d : s;
+}
+
+int apply_templates(int n, int mode) {
+  // xslt-ish: rule dispatch on tag hash
+  if (n < 0) { return 0; }
+  int out = 0;
+  switch (node_tag[n] % 7) {
+    case 0: out = 2 + apply_templates(node_child[n], mode); break;
+    case 1: out = 3 * apply_templates(node_child[n], 1 - mode); break;
+    case 2: out = mode + apply_templates(node_child[n], mode); break;
+    case 3: out = 5; break;
+    case 4: out = apply_templates(node_child[n], 0) + apply_templates(node_child[n], 1); break;
+    default: out = 1 + apply_templates(node_child[n], mode); break;
+  }
+  return out + apply_templates(node_sibling[n], mode);
+}
+
+int main() {
+  int reps = 4 + (input(0) & 3);
+  int acc = 0;
+  for (int r = 0; r < reps; r++) {
+    nnodes = 0;
+    pos = 0;
+    int root = parse_node();
+    acc += count_matches(root, ('p'*31+'a')*31+'r'*0);  // partial hash, rarely matches
+    acc += count_matches(root, (((('c'*31+'e')*31+'l')*31+'l')) & 0xFFFF);
+    acc += depth_of(root) * 100;
+    acc += apply_templates(root, r & 1);
+  }
+  print_int(nnodes);
+  print_int(acc);
+  return 0;
+}
+|}
+
+let x264_625 =
+  {|
+int ref_[1156];    // 34x34 padded frame
+int half[1156];
+int costs[64];
+
+int fill(int seed) {
+  int x = seed;
+  for (int i = 0; i < 1156; i++) {
+    x = x * 214013 + 2531011;
+    ref_[i] = (x >> 16) & 255;
+  }
+  return 0;
+}
+
+int hpel_filter() {
+  // 6-tap-ish horizontal filter, vectorizable inner loop shape
+  for (int r = 2; r < 32; r++) {
+    for (int c = 2; c < 32; c++) {
+      int p = r * 34 + c;
+      int v = ref_[p-2] - 5*ref_[p-1] + 20*ref_[p] + 20*ref_[p+1] - 5*ref_[p+2] + ref_[p+3];
+      half[p] = (v + 16) / 32;
+    }
+  }
+  int acc = 0;
+  for (int i = 0; i < 1156; i++) { acc += half[i] & 255; }
+  return acc;
+}
+
+int bit_cost(int v) {
+  if (v < 0) { v = -v; }
+  int bits = 1;
+  while (v > 0) { v = v >> 1; bits += 2; }
+  return bits;
+}
+
+int rd_quant() {
+  // rate-distortion: quantize residuals at 8 lambda values
+  int best_lambda = 0;
+  int best_cost = 1000000000;
+  for (int l = 1; l <= 8; l++) {
+    int cost = 0;
+    for (int i = 0; i < 64; i++) {
+      int resid = ref_[i * 17 % 1156] - 128;
+      int q = resid / (l * 2 + 1);
+      int rec = q * (l * 2 + 1);
+      int err = resid - rec;
+      cost += err * err + l * bit_cost(q);
+    }
+    costs[l - 1] = cost;
+    if (cost < best_cost) { best_cost = cost; best_lambda = l; }
+  }
+  return best_lambda * 1000000 + best_cost % 1000000;
+}
+
+int main() {
+  fill(input(0) + 3);
+  print_int(hpel_filter());
+  print_int(rd_quant());
+  return 0;
+}
+|}
+
+let deepsjeng_631 =
+  {|
+int board[64];
+int tt_key[1024];
+int tt_val[1024];
+int nodes = 0;
+int rngx = 7;
+
+int rnd() { rngx = rngx * 2862933555777941757 + 1442695040888963407; return (rngx >> 33) & 0xFFFF; }
+
+int eval_board() {
+  int s = 0;
+  for (int i = 0; i < 64; i++) {
+    int p = board[i];
+    if (p == 0) { continue; }
+    int center = (i / 8 >= 2 && i / 8 <= 5 && i % 8 >= 2 && i % 8 <= 5) ? 2 : 1;
+    s += p * center;
+  }
+  return s;
+}
+
+int zobrist() {
+  int h = 0;
+  for (int i = 0; i < 64; i++) { h = h * 1099511628211 + board[i] + 3; }
+  return h;
+}
+
+int search(int depth, int alpha, int beta) {
+  nodes++;
+  if (depth == 0) { return eval_board(); }
+  int key = zobrist();
+  int slot = key & 1023;
+  if (tt_key[slot] == key && depth <= 2) { return tt_val[slot]; }
+  int best = -100000;
+  int tried = 0;
+  for (int from = 0; from < 64 && tried < 6; from++) {
+    if (board[from] > 0) {
+      int to = (from + 1 + rnd() % 16) & 63;
+      int captured = board[to];
+      if (captured > 0) { continue; }
+      board[to] = board[from];
+      board[from] = 0;
+      tried++;
+      int v = -search(depth - 1, -beta, -alpha);
+      board[from] = board[to];
+      board[to] = captured;
+      if (v > best) { best = v; }
+      if (best > alpha) { alpha = best; }
+      if (alpha >= beta) { break; }
+    }
+  }
+  if (!tried) { return eval_board(); }
+  tt_key[slot] = key;
+  tt_val[slot] = best;
+  return best;
+}
+
+int main() {
+  rngx = input(0) + 1234567;
+  for (int i = 0; i < 64; i++) { board[i] = 0; }
+  for (int k = 0; k < 12; k++) { board[rnd() & 63] = (k & 3) + 1; }
+  print_int(search(6, -100000, 100000));
+  print_int(nodes);
+  return 0;
+}
+|}
+
+let leela_641 =
+  {|
+int parent[256];
+int rank_[256];
+int stones[256];
+int wins = 0;
+int playouts = 0;
+int rngx = 0;
+
+int rnd(int bound) {
+  rngx = rngx * 2862933555777941757 + 1442695040888963407;
+  int v = (rngx >> 33) & 0x7FFFFFFF;
+  return v % bound;
+}
+
+int find(int x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+int union_(int a, int b) {
+  int ra = find(a);
+  int rb = find(b);
+  if (ra == rb) { return ra; }
+  if (rank_[ra] < rank_[rb]) { int t = ra; ra = rb; rb = t; }
+  parent[rb] = ra;
+  if (rank_[ra] == rank_[rb]) { rank_[ra]++; }
+  return ra;
+}
+
+int playout() {
+  for (int i = 0; i < 256; i++) { parent[i] = i; rank_[i] = 0; stones[i] = 0; }
+  int placed = 0;
+  int black_score = 0;
+  while (placed < 160) {
+    int p = rnd(256);
+    if (stones[p]) { continue; }
+    int color = (placed & 1) + 1;
+    stones[p] = color;
+    placed++;
+    int r = p / 16;
+    int c = p % 16;
+    if (c > 0 && stones[p-1] == color) { union_(p, p-1); }
+    if (c < 15 && stones[p+1] == color) { union_(p, p+1); }
+    if (r > 0 && stones[p-16] == color) { union_(p, p-16); }
+    if (r < 15 && stones[p+16] == color) { union_(p, p+16); }
+  }
+  for (int p = 0; p < 256; p++) {
+    if (stones[p] == 1 && find(p) == p) { black_score += 3; }
+    if (stones[p] == 1) { black_score++; }
+    if (stones[p] == 2) { black_score--; }
+  }
+  return black_score > 0 ? 1 : 0;
+}
+
+int main() {
+  rngx = input(0) + 55;
+  for (int g = 0; g < 40; g++) {
+    wins += playout();
+    playouts++;
+  }
+  print_int(wins);
+  print_int(playouts);
+  return 0;
+}
+|}
+
+let exchange2_648 =
+  {|
+int grid[81];
+int solutions = 0;
+int steps = 0;
+
+int ok(int cell, int v) {
+  int r = cell / 9;
+  int c = cell % 9;
+  for (int i = 0; i < 9; i++) {
+    if (grid[r * 9 + i] == v) { return 0; }
+    if (grid[i * 9 + c] == v) { return 0; }
+  }
+  int br = r / 3 * 3;
+  int bc = c / 3 * 3;
+  for (int i = 0; i < 3; i++) {
+    for (int j = 0; j < 3; j++) {
+      if (grid[(br + i) * 9 + bc + j] == v) { return 0; }
+    }
+  }
+  return 1;
+}
+
+int solve(int cell) {
+  steps++;
+  if (steps > 60000) { return 0; }
+  while (cell < 81 && grid[cell] != 0) { cell++; }
+  if (cell >= 81) { solutions++; return solutions >= 2; }
+  for (int v = 1; v <= 9; v++) {
+    if (ok(cell, v)) {
+      grid[cell] = v;
+      if (solve(cell + 1)) { grid[cell] = 0; return 1; }
+      grid[cell] = 0;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  int seed = input(0);
+  for (int i = 0; i < 81; i++) { grid[i] = 0; }
+  // seed a diagonal of boxes, always consistent
+  for (int b = 0; b < 3; b++) {
+    int base = b * 27 + b * 3;
+    int v = 1;
+    for (int i = 0; i < 3; i++) {
+      for (int j = 0; j < 3; j++) {
+        grid[base + i * 9 + j] = (v + seed + b) % 9 + 1;
+        v += 2;
+      }
+    }
+  }
+  // the diagonal fill above can violate box uniqueness; repair simply
+  for (int b = 0; b < 3; b++) {
+    int base = b * 27 + b * 3;
+    int used[10];
+    for (int i = 0; i < 10; i++) { used[i] = 0; }
+    for (int i = 0; i < 3; i++) {
+      for (int j = 0; j < 3; j++) {
+        int cell = base + i * 9 + j;
+        int v = grid[cell];
+        while (used[v]) { v = v % 9 + 1; }
+        grid[cell] = v;
+        used[v] = 1;
+      }
+    }
+  }
+  solve(0);
+  print_int(solutions);
+  print_int(steps);
+  return 0;
+}
+|}
+
+let xz_657 =
+  {|
+int buf[2048];
+int head[256];
+int prev[2048];
+int out_len[1024];
+int out_dist[1024];
+
+int gen(int seed) {
+  int x = seed;
+  for (int i = 0; i < 2048; i++) {
+    x = x * 22695477 + 1;
+    int v = (x >> 18) & 7;
+    if ((x & 15) < 9 && i > 40) { v = buf[i - 20 - ((x >> 6) & 15)]; }
+    buf[i] = v;
+  }
+  return 0;
+}
+
+int hash3(int i) {
+  return (buf[i] * 33 * 33 + buf[i+1] * 33 + buf[i+2]) & 255;
+}
+
+int find_matches() {
+  for (int i = 0; i < 256; i++) { head[i] = -1; }
+  int ntokens = 0;
+  int i = 0;
+  while (i < 2040 && ntokens < 1000) {
+    int h = hash3(i);
+    int cand = head[h];
+    int best_len = 0;
+    int best_dist = 0;
+    int chain = 0;
+    while (cand >= 0 && chain < 16) {
+      int l = 0;
+      while (i + l < 2040 && buf[cand + l] == buf[i + l] && l < 64) { l++; }
+      if (l > best_len) { best_len = l; best_dist = i - cand; }
+      cand = prev[cand];
+      chain++;
+    }
+    prev[i] = head[h];
+    head[h] = i;
+    if (best_len >= 3) {
+      out_len[ntokens] = best_len;
+      out_dist[ntokens] = best_dist;
+      ntokens++;
+      // index covered positions too (the slow part of real xz)
+      int stop = i + best_len;
+      i++;
+      while (i < stop && i < 2040) {
+        int hh = hash3(i);
+        prev[i] = head[hh];
+        head[hh] = i;
+        i++;
+      }
+    }
+    else {
+      out_len[ntokens] = 1;
+      out_dist[ntokens] = buf[i];
+      ntokens++;
+      i++;
+    }
+  }
+  return ntokens;
+}
+
+int main() {
+  gen(input(0) + 77);
+  int n = find_matches();
+  int sum_len = 0;
+  int sum_dist = 0;
+  for (int k = 0; k < n; k++) { sum_len += out_len[k]; sum_dist += out_dist[k] & 1023; }
+  print_int(n);
+  print_int(sum_len);
+  print_int(sum_dist);
+  return 0;
+}
+|}

@@ -1,0 +1,79 @@
+(* O(n³) Hungarian algorithm (Jonker-style potentials), maximizing. *)
+
+let solve weights =
+  let nrows = Array.length weights in
+  if nrows = 0 then []
+  else begin
+    let ncols = Array.fold_left (fun m r -> max m (Array.length r)) 0 weights in
+    let n = max nrows ncols in
+    (* cost matrix for minimization, padded square *)
+    let big = 1e18 in
+    let maxw =
+      Array.fold_left
+        (fun m row -> Array.fold_left max m row)
+        0.0 weights
+    in
+    let cost i j =
+      if i < nrows && j < Array.length weights.(i) then maxw -. weights.(i).(j)
+      else maxw
+    in
+    (* potentials and matching, 1-indexed internals *)
+    let u = Array.make (n + 1) 0.0 in
+    let v = Array.make (n + 1) 0.0 in
+    let p = Array.make (n + 1) 0 in
+    let way = Array.make (n + 1) 0 in
+    for i = 1 to n do
+      p.(0) <- i;
+      let j0 = ref 0 in
+      let minv = Array.make (n + 1) big in
+      let used = Array.make (n + 1) false in
+      let continue_ = ref true in
+      while !continue_ do
+        used.(!j0) <- true;
+        let i0 = p.(!j0) in
+        let delta = ref big in
+        let j1 = ref 0 in
+        for j = 1 to n do
+          if not used.(j) then begin
+            let cur = cost (i0 - 1) (j - 1) -. u.(i0) -. v.(j) in
+            if cur < minv.(j) then begin
+              minv.(j) <- cur;
+              way.(j) <- !j0
+            end;
+            if minv.(j) < !delta then begin
+              delta := minv.(j);
+              j1 := j
+            end
+          end
+        done;
+        for j = 0 to n do
+          if used.(j) then begin
+            u.(p.(j)) <- u.(p.(j)) +. !delta;
+            v.(j) <- v.(j) -. !delta
+          end
+          else minv.(j) <- minv.(j) -. !delta
+        done;
+        j0 := !j1;
+        if p.(!j0) = 0 then continue_ := false
+      done;
+      (* augmenting path *)
+      let j = ref !j0 in
+      while !j <> 0 do
+        let j1 = way.(!j) in
+        p.(!j) <- p.(j1);
+        j := j1
+      done
+    done;
+    let pairs = ref [] in
+    for j = 1 to n do
+      let i = p.(j) in
+      if i >= 1 && i <= nrows && j <= ncols then begin
+        let i0 = i - 1 and j0 = j - 1 in
+        if
+          j0 < Array.length weights.(i0)
+          && weights.(i0).(j0) > 0.0
+        then pairs := (i0, j0) :: !pairs
+      end
+    done;
+    List.sort compare !pairs
+  end

@@ -1,0 +1,11 @@
+(** Maximum-weight bipartite assignment (Hungarian algorithm).
+
+    Used by BinHunt's call-graph matching and by the BinSlayer
+    reproduction, which is precisely "BinDiff improved with the Hungarian
+    algorithm for accurate graph matching". *)
+
+val solve : float array array -> (int * int) list
+(** [solve w] with [w.(i).(j)] the benefit of pairing row [i] with column
+    [j] (rows ≤ columns after internal padding) returns the pairing that
+    maximizes total benefit, as (row, column) pairs — only pairs with
+    positive benefit are returned. *)

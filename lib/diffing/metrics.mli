@@ -1,0 +1,22 @@
+(** The matched-code-representation ratios of the paper's Tables 7/8:
+    for a pair of binaries from the same source, the fraction of matched
+    basic blocks, matched CFG edges, and matched non-library functions
+    under BinHunt's matching. *)
+
+type ratios = {
+  matched_blocks : int;
+  blocks_a : int;
+  blocks_b : int;
+  matched_edges : int;
+  edges_a : int;
+  edges_b : int;
+  matched_funcs : int;  (** non-library function pairs with score ≥ 0.5 *)
+  funcs_a : int;  (** non-library functions in the first binary *)
+  funcs_b : int;
+  binhunt_score : float;
+}
+
+val compute : Isa.Binary.t -> Isa.Binary.t -> ratios
+
+val to_string : ratios -> string
+(** "(mB/tB, mE/tE, mF/tF)" in the tables' tuple format. *)

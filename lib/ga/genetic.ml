@@ -1,0 +1,184 @@
+type params = {
+  population_size : int;
+  mutation_rate : float;
+  crossover_rate : float;
+  must_mutate_count : int;
+  crossover_strength : float;
+  tournament_size : int;
+  elitism : int;
+}
+
+let default_params =
+  {
+    population_size = 16;
+    mutation_rate = 0.06;
+    crossover_rate = 0.8;
+    must_mutate_count = 1;
+    crossover_strength = 0.6;
+    tournament_size = 3;
+    elitism = 2;
+  }
+
+type termination = {
+  max_evaluations : int;
+  plateau_window : int;
+  plateau_epsilon : float;
+}
+
+let default_termination =
+  { max_evaluations = 2000; plateau_window = 120; plateau_epsilon = 0.0035 }
+
+type outcome = {
+  best : bool array;
+  best_fitness : float;
+  evaluations : int;
+  history : (int * float) list;
+}
+
+let genome_key g =
+  String.init (Array.length g) (fun i -> if g.(i) then '1' else '0')
+
+type state = {
+  cache : (string, float) Hashtbl.t;
+  mutable evals : int;
+  mutable best : bool array;
+  mutable best_fitness : float;
+  mutable history_rev : (int * float) list;
+  (* best fitness as of [evals - plateau_window] evaluations ago *)
+  mutable recent : (int * float) list;  (** (eval index, best at that point) *)
+}
+
+let run ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness =
+  let st =
+    {
+      cache = Hashtbl.create 256;
+      evals = 0;
+      best = Array.make ngenes false;
+      best_fitness = neg_infinity;
+      history_rev = [];
+      recent = [];
+    }
+  in
+  let evaluate genome =
+    let key = genome_key genome in
+    match Hashtbl.find_opt st.cache key with
+    | Some f -> f
+    | None ->
+      let f = fitness genome in
+      Hashtbl.replace st.cache key f;
+      st.evals <- st.evals + 1;
+      if f > st.best_fitness then begin
+        st.best_fitness <- f;
+        st.best <- Array.copy genome
+      end;
+      st.history_rev <- (st.evals, st.best_fitness) :: st.history_rev;
+      st.recent <- (st.evals, st.best_fitness) :: st.recent;
+      f
+  in
+  let plateaued () =
+    if st.evals < termination.plateau_window then false
+    else begin
+      (* drop entries older than the window *)
+      let horizon = st.evals - termination.plateau_window in
+      st.recent <-
+        List.filter (fun (e, _) -> e >= horizon) st.recent;
+      let oldest =
+        List.fold_left
+          (fun acc (e, f) ->
+            match acc with
+            | None -> Some (e, f)
+            | Some (e', _) when e < e' -> Some (e, f)
+            | Some _ -> acc)
+          None st.recent
+      in
+      match oldest with
+      | Some (_, old_best) when old_best > 0.0 ->
+        (st.best_fitness -. old_best) /. old_best < termination.plateau_epsilon
+      | Some (_, old_best) -> st.best_fitness <= old_best
+      | None -> false
+    end
+  in
+  let random_genome () =
+    Array.init ngenes (fun _ -> Util.Rng.bool rng)
+  in
+  let population =
+    let seeds = List.map (fun s -> repair (Array.copy s)) seeds in
+    let extra =
+      List.init
+        (max 0 (params.population_size - List.length seeds))
+        (fun _ -> repair (random_genome ()))
+    in
+    let all = seeds @ extra in
+    (* keep the population at its nominal size even with many seeds *)
+    Array.of_list
+      (List.filteri (fun i _ -> i < max params.population_size 2) all)
+  in
+  let scores = Array.map evaluate population in
+  let tournament () =
+    let best = ref (Util.Rng.int rng (Array.length population)) in
+    for _ = 2 to params.tournament_size do
+      let c = Util.Rng.int rng (Array.length population) in
+      if scores.(c) > scores.(!best) then best := c
+    done;
+    !best
+  in
+  let crossover a b fa fb =
+    (* uniform crossover biased towards the fitter parent *)
+    let bias =
+      if fa >= fb then params.crossover_strength
+      else 1.0 -. params.crossover_strength
+    in
+    Array.init ngenes (fun i ->
+        if Util.Rng.float rng 1.0 < bias then a.(i) else b.(i))
+  in
+  let mutate g =
+    let flipped = ref 0 in
+    for i = 0 to ngenes - 1 do
+      if Util.Rng.float rng 1.0 < params.mutation_rate then begin
+        g.(i) <- not g.(i);
+        incr flipped
+      end
+    done;
+    while !flipped < params.must_mutate_count do
+      let i = Util.Rng.int rng ngenes in
+      g.(i) <- not g.(i);
+      incr flipped
+    done;
+    g
+  in
+  let continue_ () =
+    st.evals < termination.max_evaluations && not (plateaued ())
+  in
+  while continue_ () do
+    (* build next generation *)
+    let ranked =
+      let idx = Array.init (Array.length population) (fun i -> i) in
+      Array.sort (fun i j -> compare scores.(j) scores.(i)) idx;
+      idx
+    in
+    let next = ref [] in
+    for e = 0 to min params.elitism (Array.length population) - 1 do
+      next := Array.copy population.(ranked.(e)) :: !next
+    done;
+    while List.length !next < params.population_size do
+      let i = tournament () and j = tournament () in
+      let child =
+        if Util.Rng.float rng 1.0 < params.crossover_rate then
+          crossover population.(i) population.(j) scores.(i) scores.(j)
+        else Array.copy population.(if scores.(i) >= scores.(j) then i else j)
+      in
+      let child = repair (mutate child) in
+      next := child :: !next
+    done;
+    let np = Array.of_list (List.rev !next) in
+    Array.blit np 0 population 0 (Array.length population);
+    Array.iteri
+      (fun k g -> if continue_ () then scores.(k) <- evaluate g)
+      population
+  done;
+  {
+    best = st.best;
+    best_fitness = st.best_fitness;
+    evaluations = st.evals;
+    history = List.rev st.history_rev;
+  }

@@ -1,0 +1,49 @@
+(** The metaheuristic search engine (paper §4.1, Appendix B).
+
+    A generational genetic algorithm over boolean genomes (compiler flag
+    vectors): tournament selection, uniform crossover, per-gene mutation
+    with a forced minimum ([must_mutate_count]), elitism, and an external
+    repair hook (the constraint solver).  Fitness evaluations are cached
+    by genome so the iteration count matches the number of distinct
+    compilations, which is what the paper's Table 1 reports. *)
+
+type params = {
+  population_size : int;
+  mutation_rate : float;  (** per-gene flip probability *)
+  crossover_rate : float;  (** probability a pair recombines *)
+  must_mutate_count : int;  (** minimum flips applied to each child *)
+  crossover_strength : float;  (** bias towards the fitter parent's genes *)
+  tournament_size : int;
+  elitism : int;  (** individuals copied unchanged per generation *)
+}
+
+val default_params : params
+
+type termination = {
+  max_evaluations : int;
+  plateau_window : int;  (** evaluations with no relative improvement … *)
+  plateau_epsilon : float;  (** … above this rate stop the search (0.35%) *)
+}
+
+val default_termination : termination
+
+type outcome = {
+  best : bool array;
+  best_fitness : float;
+  evaluations : int;  (** distinct genomes compiled *)
+  history : (int * float) list;
+      (** (evaluation index, best-so-far fitness), ascending *)
+}
+
+val run :
+  rng:Util.Rng.t ->
+  params:params ->
+  termination:termination ->
+  ngenes:int ->
+  seeds:bool array list ->
+  repair:(bool array -> bool array) ->
+  fitness:(bool array -> float) ->
+  outcome
+(** Maximize [fitness].  [seeds] become part of the initial population
+    (padded with random genomes).  Every genome is passed through
+    [repair] before evaluation. *)

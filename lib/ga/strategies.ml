@@ -1,0 +1,103 @@
+type outcome = Genetic.outcome
+
+let make_tracker () =
+  let cache = Hashtbl.create 256 in
+  let evals = ref 0 in
+  let best = ref [||] in
+  let best_fitness = ref neg_infinity in
+  let history = ref [] in
+  let key g = String.init (Array.length g) (fun i -> if g.(i) then '1' else '0') in
+  let evaluate fitness genome =
+    match Hashtbl.find_opt cache (key genome) with
+    | Some f -> f
+    | None ->
+      let f = fitness genome in
+      incr evals;
+      Hashtbl.replace cache (key genome) f;
+      if f > !best_fitness then begin
+        best_fitness := f;
+        best := Array.copy genome
+      end;
+      history := (!evals, !best_fitness) :: !history;
+      f
+  in
+  (evaluate, evals, best, best_fitness, history)
+
+let finish (evals, best, best_fitness, history) : outcome =
+  {
+    Genetic.best = !best;
+    best_fitness = !best_fitness;
+    evaluations = !evals;
+    history = List.rev !history;
+  }
+
+let hill_climb ~rng ~max_evaluations ~ngenes ~seeds ~repair ~fitness =
+  let evaluate, evals, best, best_fitness, history = make_tracker () in
+  let eval g = evaluate fitness (repair g) in
+  let start () =
+    match seeds with
+    | s :: _ when !evals = 0 -> Array.copy s
+    | _ -> Array.init ngenes (fun _ -> Util.Rng.bool rng)
+  in
+  let current = ref (start ()) in
+  let current_fitness = ref (eval !current) in
+  (* cached re-evaluations do not consume budget; bound raw steps too *)
+  let steps = ref 0 in
+  while !evals < max_evaluations && !steps < max_evaluations * 20 do
+    incr steps;
+    (* evaluate all single-bit neighbours, move to the best improving *)
+    let best_move = ref None in
+    let i = ref 0 in
+    while !i < ngenes && !evals < max_evaluations do
+      let n = Array.copy !current in
+      n.(!i) <- not n.(!i);
+      let f = eval n in
+      (match !best_move with
+      | Some (_, bf) when bf >= f -> ()
+      | _ -> if f > !current_fitness then best_move := Some (n, f));
+      incr i
+    done;
+    match !best_move with
+    | Some (n, f) ->
+      current := n;
+      current_fitness := f
+    | None ->
+      (* local optimum: random restart *)
+      current := Array.init ngenes (fun _ -> Util.Rng.bool rng);
+      current_fitness := eval !current
+  done;
+  finish (evals, best, best_fitness, history)
+
+let anneal ~rng ~max_evaluations ~ngenes ~seeds ~repair ~fitness =
+  let evaluate, evals, best, best_fitness, history = make_tracker () in
+  let eval g = evaluate fitness (repair g) in
+  let current =
+    ref
+      (match seeds with
+      | s :: _ -> Array.copy s
+      | [] -> Array.init ngenes (fun _ -> Util.Rng.bool rng))
+  in
+  let current_fitness = ref (eval !current) in
+  let t0 = 0.08 and t_end = 0.002 in
+  let steps = ref 0 in
+  while !evals < max_evaluations && !steps < max_evaluations * 20 do
+    incr steps;
+    let progress = float_of_int !evals /. float_of_int max_evaluations in
+    let temp = t0 *. ((t_end /. t0) ** progress) in
+    let proposal = Array.copy !current in
+    let flips = 1 + Util.Rng.int rng 2 in
+    for _ = 1 to flips do
+      let i = Util.Rng.int rng ngenes in
+      proposal.(i) <- not proposal.(i)
+    done;
+    let f = eval proposal in
+    let delta = f -. !current_fitness in
+    let accept =
+      delta >= 0.0 || Util.Rng.float rng 1.0 < exp (delta /. temp)
+    in
+    if accept then begin
+      current := proposal;
+      current_fitness := f
+    end
+  done;
+  finish (evals, best, best_fitness, history)

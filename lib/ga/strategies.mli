@@ -1,0 +1,32 @@
+(** Alternative metaheuristics for the flag-space search.
+
+    The paper's §4.1 argues for the genetic algorithm on the grounds that
+    "the options revealing the optimal effects are rare, but the local
+    minima are frequent", making biased random search beat local search
+    such as hill climbing; its §7 names MCMC sampling as future work.
+    Both alternatives are implemented here so the claim can be tested as
+    an ablation (the [ablation] experiment of the benchmark harness). *)
+
+val hill_climb :
+  rng:Util.Rng.t ->
+  max_evaluations:int ->
+  ngenes:int ->
+  seeds:bool array list ->
+  repair:(bool array -> bool array) ->
+  fitness:(bool array -> float) ->
+  Genetic.outcome
+(** Steepest-ascent hill climbing with random restarts: from the best
+    seed, repeatedly evaluate all single-bit neighbours and move to the
+    best improving one; restart from a random genome when stuck. *)
+
+val anneal :
+  rng:Util.Rng.t ->
+  max_evaluations:int ->
+  ngenes:int ->
+  seeds:bool array list ->
+  repair:(bool array -> bool array) ->
+  fitness:(bool array -> float) ->
+  Genetic.outcome
+(** Markov-chain Monte-Carlo search (simulated annealing with a
+    geometric temperature schedule): random single/double bit-flip
+    proposals accepted with probability exp(Δ/T). *)

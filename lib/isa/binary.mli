@@ -1,0 +1,57 @@
+(** The binary artifact produced by the compiler and consumed by the
+    diffing tools, the AV scanners, the VM, and the NCD fitness function.
+
+    A binary carries its raw text/data bytes plus a symbol table.  The
+    per-function instruction lists and CFGs exposed to the diffing tools
+    are *reconstructed from the bytes* by {!analyze} (linear-sweep
+    disassembly + leader analysis), the way IDA-based tools consume
+    stripped binaries with known function boundaries.  Function names are
+    retained solely as ground truth for Precision@1 scoring — no diffing
+    tool may match on them. *)
+
+type t = {
+  arch : Insn.arch;
+  profile : string;  (** producing compiler profile, e.g. "gcc-10.2" *)
+  opt_label : string;  (** "-O2", "-Os", "bintuner", … (provenance) *)
+  text : string;  (** raw code bytes *)
+  data : string;  (** serialized initial data memory *)
+  data_words : int array;  (** initial data memory, word view *)
+  symbols : (string * int * int) array;
+      (** data symbols: (name, base word address, size in words) *)
+  functions : (string * int * int) array;
+      (** (name, entry byte offset, code byte length); index = call id *)
+  entry : int;  (** function id of [main] *)
+  ret_reg : int;  (** ABI return register (varies with struct-return flags) *)
+}
+
+(** A basic block reconstructed from the bytes. *)
+type bblock = {
+  b_addr : int;  (** byte offset of the leader *)
+  b_insns : (int * Insn.insn) list;
+  b_succs : int list;  (** successor block addresses *)
+}
+
+(** Analysis result for one function. *)
+type bfunc = {
+  f_name : string;
+  f_id : int;
+  f_addr : int;
+  f_insns : (int * Insn.insn) list;
+  f_blocks : bblock list;
+  f_calls : int list;  (** callee function ids, static *)
+}
+
+val analyze : t -> bfunc list
+(** Disassemble and reconstruct every function's CFG. *)
+
+val analyze_function : t -> int -> bfunc
+(** Analyze a single function by id. *)
+
+val code_of_function : t -> int -> string
+(** Raw bytes of one function's body (for per-function NCD). *)
+
+val size : t -> int
+(** Total binary size in bytes (text + data). *)
+
+val serialize_data : int array -> string
+(** Pack the initial data memory into bytes (stored in [data]). *)

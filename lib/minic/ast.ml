@@ -1,0 +1,139 @@
+(* Abstract syntax of MinC, the C subset every benchmark in the corpus is
+   written in.  Semantics: all values are machine integers (OCaml native
+   ints standing in for a 64-bit register), arrays are one-dimensional and
+   statically sized; there are no pointers beyond array indexing.  Division
+   and modulo by zero evaluate to zero (total semantics keep the VM and all
+   diffing-tool samplers deterministic). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land  (** short-circuit && *)
+  | Lor  (** short-circuit || *)
+
+type unop = Neg | Bnot | Lnot
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** arr\[e\] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+  | Ternary of expr * expr * expr
+
+type stmt =
+  | Decl of string * expr option  (** int x; / int x = e; *)
+  | Array_decl of string * int * int list  (** int a\[n\] = {…}; *)
+  | Assign of string * expr
+  | Store of string * expr * expr  (** arr\[i\] = e; *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Do_while of stmt list * expr
+  | For of stmt option * expr option * stmt option * stmt list
+  | Switch of expr * (int list * stmt list) list * stmt list option
+      (** cases may carry several labels (fallthrough groups); optional
+          default *)
+  | Return of expr option
+  | Break
+  | Continue
+  | Expr_stmt of expr
+  | Block of stmt list
+
+type func = { fname : string; params : string list; body : stmt list }
+
+type global =
+  | Gvar of string * int
+  | Garr of string * int * int list  (** name, size, initializer prefix *)
+
+type program = { globals : global list; funcs : func list }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | Land -> "&&"
+  | Lor -> "||"
+
+let unop_name = function Neg -> "-" | Bnot -> "~" | Lnot -> "!"
+
+let rec expr_to_string = function
+  | Int n -> string_of_int n
+  | Var v -> v
+  | Index (a, e) -> Printf.sprintf "%s[%s]" a (expr_to_string e)
+  | Unary (op, e) -> Printf.sprintf "%s(%s)" (unop_name op) (expr_to_string e)
+  | Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op)
+      (expr_to_string b)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f
+      (String.concat ", " (List.map expr_to_string args))
+  | Ternary (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a)
+      (expr_to_string b)
+
+(* Structural size measures, used by inlining heuristics and tests. *)
+
+let rec expr_size = function
+  | Int _ | Var _ -> 1
+  | Index (_, e) | Unary (_, e) -> 1 + expr_size e
+  | Binary (_, a, b) -> 1 + expr_size a + expr_size b
+  | Call (_, args) -> 1 + List.fold_left (fun acc e -> acc + expr_size e) 0 args
+  | Ternary (c, a, b) -> 1 + expr_size c + expr_size a + expr_size b
+
+let rec stmt_size = function
+  | Decl (_, None) -> 1
+  | Decl (_, Some e) -> 1 + expr_size e
+  | Array_decl (_, _, _) -> 1
+  | Assign (_, e) -> 1 + expr_size e
+  | Store (_, i, e) -> 1 + expr_size i + expr_size e
+  | If (c, t, f) -> 1 + expr_size c + stmts_size t + stmts_size f
+  | While (c, b) -> 1 + expr_size c + stmts_size b
+  | Do_while (b, c) -> 1 + expr_size c + stmts_size b
+  | For (init, cond, step, b) ->
+    let opt_stmt = function None -> 0 | Some s -> stmt_size s in
+    let opt_expr = function None -> 0 | Some e -> expr_size e in
+    1 + opt_stmt init + opt_expr cond + opt_stmt step + stmts_size b
+  | Switch (e, cases, default) ->
+    let case_size acc (_, body) = acc + stmts_size body in
+    let base = 1 + expr_size e + List.fold_left case_size 0 cases in
+    (match default with None -> base | Some d -> base + stmts_size d)
+  | Return None -> 1
+  | Return (Some e) -> 1 + expr_size e
+  | Break | Continue -> 1
+  | Expr_stmt e -> 1 + expr_size e
+  | Block b -> stmts_size b
+
+and stmts_size stmts = List.fold_left (fun acc s -> acc + stmt_size s) 0 stmts
+
+let func_size f = stmts_size f.body
+
+let program_size p =
+  List.fold_left (fun acc f -> acc + func_size f) 0 p.funcs

@@ -1,0 +1,334 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | QUESTION
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | AMP_ASSIGN
+  | PIPE_ASSIGN
+  | CARET_ASSIGN
+  | SHL_ASSIGN
+  | SHR_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+
+exception Error of string * int
+
+let keyword_of_ident = function
+  | "int" | "char" | "long" | "void" -> Some KW_INT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "switch" -> Some KW_SWITCH
+  | "case" -> Some KW_CASE
+  | "default" -> Some KW_DEFAULT
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let escape_char line = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> raise (Error (Printf.sprintf "unknown escape \\%c" c, line))
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let advance k = i := !i + k in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      advance 1
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then advance 1
+    else if c = '/' && peek 1 = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if c = '/' && peek 1 = '*' then begin
+      advance 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = '/' then begin
+          closed := true;
+          advance 2
+        end
+        else advance 1
+      done;
+      if not !closed then raise (Error ("unterminated comment", !line))
+    end
+    else if is_digit c then begin
+      if c = '0' && (peek 1 = 'x' || peek 1 = 'X') then begin
+        let start = !i + 2 in
+        let j = ref start in
+        while !j < n && is_hex_digit src.[!j] do
+          incr j
+        done;
+        if !j = start then raise (Error ("malformed hex literal", !line));
+        emit (INT (int_of_string ("0x" ^ String.sub src start (!j - start))));
+        i := !j
+      end
+      else begin
+        let start = !i in
+        let j = ref start in
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        emit (INT (int_of_string (String.sub src start (!j - start))));
+        i := !j
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src start (!j - start) in
+      (match keyword_of_ident word with
+      | Some kw -> emit kw
+      | None -> emit (IDENT word));
+      i := !j
+    end
+    else if c = '\'' then begin
+      let value, consumed =
+        match peek 1 with
+        | '\\' -> (Char.code (escape_char !line (peek 2)), 4)
+        | '\'' -> raise (Error ("empty character literal", !line))
+        | ch -> (Char.code ch, 3)
+      in
+      if peek (consumed - 1) <> '\'' then
+        raise (Error ("unterminated character literal", !line));
+      emit (INT value);
+      advance consumed
+    end
+    else if c = '"' then begin
+      let b = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while !j < n && not !closed do
+        match src.[!j] with
+        | '"' ->
+          closed := true;
+          incr j
+        | '\\' ->
+          if !j + 1 >= n then raise (Error ("unterminated string", !line));
+          Buffer.add_char b (escape_char !line src.[!j + 1]);
+          j := !j + 2
+        | '\n' -> raise (Error ("newline in string literal", !line))
+        | ch ->
+          Buffer.add_char b ch;
+          incr j
+      done;
+      if not !closed then raise (Error ("unterminated string", !line));
+      emit (STRING (Buffer.contents b));
+      i := !j
+    end
+    else begin
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let tok3 =
+        match three with
+        | "<<=" -> Some SHL_ASSIGN
+        | ">>=" -> Some SHR_ASSIGN
+        | _ -> None
+      in
+      match tok3 with
+      | Some t ->
+        emit t;
+        advance 3
+      | None ->
+        let tok2 =
+          match two with
+          | "<<" -> Some SHL
+          | ">>" -> Some SHR
+          | "<=" -> Some LE
+          | ">=" -> Some GE
+          | "==" -> Some EQEQ
+          | "!=" -> Some NE
+          | "&&" -> Some ANDAND
+          | "||" -> Some OROR
+          | "+=" -> Some PLUS_ASSIGN
+          | "-=" -> Some MINUS_ASSIGN
+          | "*=" -> Some STAR_ASSIGN
+          | "/=" -> Some SLASH_ASSIGN
+          | "%=" -> Some PERCENT_ASSIGN
+          | "&=" -> Some AMP_ASSIGN
+          | "|=" -> Some PIPE_ASSIGN
+          | "^=" -> Some CARET_ASSIGN
+          | "++" -> Some PLUSPLUS
+          | "--" -> Some MINUSMINUS
+          | _ -> None
+        in
+        (match tok2 with
+        | Some t ->
+          emit t;
+          advance 2
+        | None ->
+          let tok1 =
+            match c with
+            | '(' -> LPAREN
+            | ')' -> RPAREN
+            | '{' -> LBRACE
+            | '}' -> RBRACE
+            | '[' -> LBRACKET
+            | ']' -> RBRACKET
+            | ';' -> SEMI
+            | ',' -> COMMA
+            | ':' -> COLON
+            | '?' -> QUESTION
+            | '+' -> PLUS
+            | '-' -> MINUS
+            | '*' -> STAR
+            | '/' -> SLASH
+            | '%' -> PERCENT
+            | '&' -> AMP
+            | '|' -> PIPE
+            | '^' -> CARET
+            | '~' -> TILDE
+            | '!' -> BANG
+            | '<' -> LT
+            | '>' -> GT
+            | '=' -> ASSIGN
+            | _ ->
+              raise (Error (Printf.sprintf "unexpected character %C" c, !line))
+          in
+          emit tok1;
+          advance 1)
+    end
+  done;
+  emit EOF;
+  List.rev !tokens
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | KW_INT -> "int"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_DO -> "do"
+  | KW_FOR -> "for"
+  | KW_SWITCH -> "switch"
+  | KW_CASE -> "case"
+  | KW_DEFAULT -> "default"
+  | KW_RETURN -> "return"
+  | KW_BREAK -> "break"
+  | KW_CONTINUE -> "continue"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | QUESTION -> "?"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EQEQ -> "=="
+  | NE -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | MINUS_ASSIGN -> "-="
+  | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/="
+  | PERCENT_ASSIGN -> "%="
+  | AMP_ASSIGN -> "&="
+  | PIPE_ASSIGN -> "|="
+  | CARET_ASSIGN -> "^="
+  | SHL_ASSIGN -> "<<="
+  | SHR_ASSIGN -> ">>="
+  | PLUSPLUS -> "++"
+  | MINUSMINUS -> "--"
+  | EOF -> "<eof>"

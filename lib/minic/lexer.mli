@@ -1,0 +1,73 @@
+(** Hand-written lexer for MinC source text. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string  (** string literal, used only in array initializers *)
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_DO
+  | KW_FOR
+  | KW_SWITCH
+  | KW_CASE
+  | KW_DEFAULT
+  | KW_RETURN
+  | KW_BREAK
+  | KW_CONTINUE
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | QUESTION
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | BANG
+  | SHL
+  | SHR
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQEQ
+  | NE
+  | ANDAND
+  | OROR
+  | ASSIGN
+  | PLUS_ASSIGN
+  | MINUS_ASSIGN
+  | STAR_ASSIGN
+  | SLASH_ASSIGN
+  | PERCENT_ASSIGN
+  | AMP_ASSIGN
+  | PIPE_ASSIGN
+  | CARET_ASSIGN
+  | SHL_ASSIGN
+  | SHR_ASSIGN
+  | PLUSPLUS
+  | MINUSMINUS
+  | EOF
+
+exception Error of string * int
+(** [Error (message, line)]. *)
+
+val tokenize : string -> (token * int) list
+(** [tokenize source] returns the token stream with line numbers.
+    Raises {!Error} on malformed input.  Handles [//] and [/* */]
+    comments, decimal / hex integers, character literals (['a'] becomes an
+    [INT]), and string literals. *)
+
+val token_to_string : token -> string

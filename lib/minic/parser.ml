@@ -1,0 +1,560 @@
+open Ast
+
+exception Error of string * int
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st =
+  match st.toks with
+  | (t, _) :: _ -> t
+  | [] -> Lexer.EOF
+
+let line st =
+  match st.toks with
+  | (_, l) :: _ -> l
+  | [] -> 0
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let fail st msg =
+  raise
+    (Error
+       ( Printf.sprintf "%s (found %s)" msg (Lexer.token_to_string (peek st)),
+         line st ))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st ("expected " ^ what)
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> fail st "expected identifier"
+
+(* Constant expressions: array sizes and case labels must fold to
+   integers at parse time. *)
+let rec const_eval st = function
+  | Int n -> n
+  | Unary (Neg, e) -> -const_eval st e
+  | Unary (Bnot, e) -> lnot (const_eval st e)
+  | Binary (Add, a, b) -> const_eval st a + const_eval st b
+  | Binary (Sub, a, b) -> const_eval st a - const_eval st b
+  | Binary (Mul, a, b) -> const_eval st a * const_eval st b
+  | Binary (Shl, a, b) -> const_eval st a lsl const_eval st b
+  | _ -> fail st "expected constant expression"
+
+(* --- expressions: precedence climbing ------------------------------- *)
+
+let binop_of_token = function
+  | Lexer.STAR -> Some (Mul, 10)
+  | Lexer.SLASH -> Some (Div, 10)
+  | Lexer.PERCENT -> Some (Mod, 10)
+  | Lexer.PLUS -> Some (Add, 9)
+  | Lexer.MINUS -> Some (Sub, 9)
+  | Lexer.SHL -> Some (Shl, 8)
+  | Lexer.SHR -> Some (Shr, 8)
+  | Lexer.LT -> Some (Lt, 7)
+  | Lexer.LE -> Some (Le, 7)
+  | Lexer.GT -> Some (Gt, 7)
+  | Lexer.GE -> Some (Ge, 7)
+  | Lexer.EQEQ -> Some (Eq, 6)
+  | Lexer.NE -> Some (Ne, 6)
+  | Lexer.AMP -> Some (Band, 5)
+  | Lexer.CARET -> Some (Bxor, 4)
+  | Lexer.PIPE -> Some (Bor, 3)
+  | Lexer.ANDAND -> Some (Land, 2)
+  | Lexer.OROR -> Some (Lor, 1)
+  | _ -> None
+
+let rec parse_primary st =
+  match peek st with
+  | Lexer.INT n ->
+    advance st;
+    Int n
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_ternary st in
+    expect st Lexer.RPAREN ")";
+    e
+  | Lexer.MINUS ->
+    advance st;
+    (match parse_primary st with
+    | Int n -> Int (-n)
+    | e -> Unary (Neg, e))
+  | Lexer.TILDE ->
+    advance st;
+    Unary (Bnot, parse_primary st)
+  | Lexer.BANG ->
+    advance st;
+    Unary (Lnot, parse_primary st)
+  | Lexer.PLUS ->
+    advance st;
+    parse_primary st
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      Call (name, args)
+    | Lexer.LBRACKET ->
+      advance st;
+      let idx = parse_ternary st in
+      expect st Lexer.RBRACKET "]";
+      Index (name, idx)
+    | _ -> Var name)
+  | _ -> fail st "expected expression"
+
+and parse_args st =
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let e = parse_ternary st in
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        loop (e :: acc)
+      | Lexer.RPAREN ->
+        advance st;
+        List.rev (e :: acc)
+      | _ -> fail st "expected , or ) in argument list"
+    in
+    loop []
+  end
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := Binary (op, !lhs, rhs)
+    | Some _ | None -> continue_ := false
+  done;
+  !lhs
+
+and parse_ternary st =
+  let cond = parse_binary st 1 in
+  if peek st = Lexer.QUESTION then begin
+    advance st;
+    let a = parse_ternary st in
+    expect st Lexer.COLON ":";
+    let b = parse_ternary st in
+    Ternary (cond, a, b)
+  end
+  else cond
+
+(* --- statements ------------------------------------------------------ *)
+
+let compound_op = function
+  | Lexer.PLUS_ASSIGN -> Some Add
+  | Lexer.MINUS_ASSIGN -> Some Sub
+  | Lexer.STAR_ASSIGN -> Some Mul
+  | Lexer.SLASH_ASSIGN -> Some Div
+  | Lexer.PERCENT_ASSIGN -> Some Mod
+  | Lexer.AMP_ASSIGN -> Some Band
+  | Lexer.PIPE_ASSIGN -> Some Bor
+  | Lexer.CARET_ASSIGN -> Some Bxor
+  | Lexer.SHL_ASSIGN -> Some Shl
+  | Lexer.SHR_ASSIGN -> Some Shr
+  | _ -> None
+
+(* Parse the part of a simple (semicolon-less) statement: assignment,
+   compound assignment, increment, call.  Used by both expression
+   statements and `for` clauses. *)
+let rec parse_simple st =
+  match peek st with
+  | Lexer.IDENT name -> (
+    advance st;
+    match peek st with
+    | Lexer.ASSIGN ->
+      advance st;
+      Assign (name, parse_ternary st)
+    | Lexer.PLUSPLUS ->
+      advance st;
+      Assign (name, Binary (Add, Var name, Int 1))
+    | Lexer.MINUSMINUS ->
+      advance st;
+      Assign (name, Binary (Sub, Var name, Int 1))
+    | Lexer.LBRACKET -> (
+      advance st;
+      let idx = parse_ternary st in
+      expect st Lexer.RBRACKET "]";
+      match peek st with
+      | Lexer.ASSIGN ->
+        advance st;
+        Store (name, idx, parse_ternary st)
+      | Lexer.PLUSPLUS ->
+        advance st;
+        Store (name, idx, Binary (Add, Index (name, idx), Int 1))
+      | Lexer.MINUSMINUS ->
+        advance st;
+        Store (name, idx, Binary (Sub, Index (name, idx), Int 1))
+      | tok -> (
+        match compound_op tok with
+        | Some op ->
+          advance st;
+          let rhs = parse_ternary st in
+          Store (name, idx, Binary (op, Index (name, idx), rhs))
+        | None ->
+          (* plain expression statement starting with an index read *)
+          let e = finish_expr st (Index (name, idx)) in
+          Expr_stmt e))
+    | Lexer.LPAREN ->
+      advance st;
+      let args = parse_args st in
+      let e = finish_expr st (Call (name, args)) in
+      Expr_stmt e
+    | tok -> (
+      match compound_op tok with
+      | Some op ->
+        advance st;
+        let rhs = parse_ternary st in
+        Assign (name, Binary (op, Var name, rhs))
+      | None ->
+        let e = finish_expr st (Var name) in
+        Expr_stmt e))
+  | Lexer.PLUSPLUS ->
+    advance st;
+    let name = expect_ident st in
+    Assign (name, Binary (Add, Var name, Int 1))
+  | Lexer.MINUSMINUS ->
+    advance st;
+    let name = expect_ident st in
+    Assign (name, Binary (Sub, Var name, Int 1))
+  | _ ->
+    let e = parse_ternary st in
+    Expr_stmt e
+
+(* Continue parsing an expression whose leftmost primary was already
+   consumed: fold pending binary operators and ternary around [lhs]. *)
+and finish_expr st lhs =
+  let lhs = ref lhs in
+  let continue_ = ref true in
+  while !continue_ do
+    match binop_of_token (peek st) with
+    | Some (op, prec) ->
+      advance st;
+      let rhs = parse_binary st (prec + 1) in
+      lhs := Binary (op, !lhs, rhs)
+    | None -> continue_ := false
+  done;
+  if peek st = Lexer.QUESTION then begin
+    advance st;
+    let a = parse_ternary st in
+    expect st Lexer.COLON ":";
+    let b = parse_ternary st in
+    Ternary (!lhs, a, b)
+  end
+  else !lhs
+
+let string_to_init s =
+  List.init (String.length s) (fun i -> Char.code s.[i]) @ [ 0 ]
+
+let rec parse_initializer_list st =
+  expect st Lexer.LBRACE "{";
+  if peek st = Lexer.RBRACE then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      let v = const_eval st (parse_ternary st) in
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        if peek st = Lexer.RBRACE then begin
+          advance st;
+          List.rev (v :: acc)
+        end
+        else loop (v :: acc)
+      | Lexer.RBRACE ->
+        advance st;
+        List.rev (v :: acc)
+      | _ -> fail st "expected , or } in initializer"
+    in
+    loop []
+  end
+
+and parse_decl st =
+  (* KW_INT already consumed *)
+  let name = expect_ident st in
+  match peek st with
+  | Lexer.LBRACKET ->
+    advance st;
+    let declared_size =
+      if peek st = Lexer.RBRACKET then None
+      else Some (const_eval st (parse_ternary st))
+    in
+    expect st Lexer.RBRACKET "]";
+    let init =
+      if peek st = Lexer.ASSIGN then begin
+        advance st;
+        match peek st with
+        | Lexer.STRING s ->
+          advance st;
+          string_to_init s
+        | _ -> parse_initializer_list st
+      end
+      else []
+    in
+    let size =
+      match declared_size with
+      | Some n -> n
+      | None ->
+        if init = [] then fail st "array with neither size nor initializer"
+        else List.length init
+    in
+    if List.length init > size then fail st "initializer longer than array";
+    Array_decl (name, size, init)
+  | Lexer.ASSIGN ->
+    advance st;
+    let e = parse_ternary st in
+    Decl (name, Some e)
+  | _ -> Decl (name, None)
+
+and parse_stmt st =
+  match peek st with
+  | Lexer.LBRACE ->
+    advance st;
+    let body = parse_stmts st in
+    expect st Lexer.RBRACE "}";
+    Block body
+  | Lexer.KW_INT ->
+    advance st;
+    let d = parse_decl st in
+    (* int a = 1, b = 2; *)
+    let rec more acc =
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        more (parse_decl st :: acc)
+      end
+      else List.rev acc
+    in
+    let ds = more [ d ] in
+    expect st Lexer.SEMI ";";
+    (match ds with [ one ] -> one | many -> Block many)
+  | Lexer.KW_IF ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let cond = parse_ternary st in
+    expect st Lexer.RPAREN ")";
+    let then_branch = parse_stmt_as_list st in
+    let else_branch =
+      if peek st = Lexer.KW_ELSE then begin
+        advance st;
+        parse_stmt_as_list st
+      end
+      else []
+    in
+    If (cond, then_branch, else_branch)
+  | Lexer.KW_WHILE ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let cond = parse_ternary st in
+    expect st Lexer.RPAREN ")";
+    let body = parse_stmt_as_list st in
+    While (cond, body)
+  | Lexer.KW_DO ->
+    advance st;
+    let body = parse_stmt_as_list st in
+    expect st Lexer.KW_WHILE "while";
+    expect st Lexer.LPAREN "(";
+    let cond = parse_ternary st in
+    expect st Lexer.RPAREN ")";
+    expect st Lexer.SEMI ";";
+    Do_while (body, cond)
+  | Lexer.KW_FOR ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let init =
+      if peek st = Lexer.SEMI then None
+      else if peek st = Lexer.KW_INT then begin
+        advance st;
+        Some (parse_decl st)
+      end
+      else Some (parse_simple st)
+    in
+    expect st Lexer.SEMI ";";
+    let cond = if peek st = Lexer.SEMI then None else Some (parse_ternary st) in
+    expect st Lexer.SEMI ";";
+    let step =
+      if peek st = Lexer.RPAREN then None else Some (parse_simple st)
+    in
+    expect st Lexer.RPAREN ")";
+    let body = parse_stmt_as_list st in
+    For (init, cond, step, body)
+  | Lexer.KW_SWITCH ->
+    advance st;
+    expect st Lexer.LPAREN "(";
+    let scrutinee = parse_ternary st in
+    expect st Lexer.RPAREN ")";
+    expect st Lexer.LBRACE "{";
+    let cases = ref [] in
+    let default = ref None in
+    while peek st <> Lexer.RBRACE do
+      match peek st with
+      | Lexer.KW_CASE ->
+        (* collect consecutive labels into one fallthrough group *)
+        let labels = ref [] in
+        while peek st = Lexer.KW_CASE do
+          advance st;
+          let v = const_eval st (parse_ternary st) in
+          expect st Lexer.COLON ":";
+          labels := v :: !labels
+        done;
+        let body = parse_case_body st in
+        cases := (List.rev !labels, body) :: !cases
+      | Lexer.KW_DEFAULT ->
+        advance st;
+        expect st Lexer.COLON ":";
+        let body = parse_case_body st in
+        default := Some body
+      | _ -> fail st "expected case or default in switch"
+    done;
+    advance st;
+    Switch (scrutinee, List.rev !cases, !default)
+  | Lexer.KW_RETURN ->
+    advance st;
+    if peek st = Lexer.SEMI then begin
+      advance st;
+      Return None
+    end
+    else begin
+      let e = parse_ternary st in
+      expect st Lexer.SEMI ";";
+      Return (Some e)
+    end
+  | Lexer.KW_BREAK ->
+    advance st;
+    expect st Lexer.SEMI ";";
+    Break
+  | Lexer.KW_CONTINUE ->
+    advance st;
+    expect st Lexer.SEMI ";";
+    Continue
+  | Lexer.SEMI ->
+    advance st;
+    Block []
+  | _ ->
+    let s = parse_simple st in
+    expect st Lexer.SEMI ";";
+    s
+
+and parse_stmt_as_list st =
+  match parse_stmt st with
+  | Block b -> b
+  | s -> [ s ]
+
+and parse_case_body st =
+  (* statements until the next case/default/closing brace; break is kept
+     and interpreted by lowering (fallthrough when absent) *)
+  let rec loop acc =
+    match peek st with
+    | Lexer.KW_CASE | Lexer.KW_DEFAULT | Lexer.RBRACE -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+and parse_stmts st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.RBRACE | Lexer.EOF -> List.rev acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  loop []
+
+(* --- top level ------------------------------------------------------- *)
+
+let parse_params st =
+  expect st Lexer.LPAREN "(";
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec loop acc =
+      expect st Lexer.KW_INT "int";
+      let name = expect_ident st in
+      match peek st with
+      | Lexer.COMMA ->
+        advance st;
+        loop (name :: acc)
+      | Lexer.RPAREN ->
+        advance st;
+        List.rev (name :: acc)
+      | _ -> fail st "expected , or ) in parameter list"
+    in
+    loop []
+  end
+
+let parse_program st =
+  let globals = ref [] in
+  let funcs = ref [] in
+  while peek st <> Lexer.EOF do
+    expect st Lexer.KW_INT "int (top-level declaration)";
+    let name = expect_ident st in
+    match peek st with
+    | Lexer.LPAREN ->
+      let params = parse_params st in
+      expect st Lexer.LBRACE "{";
+      let body = parse_stmts st in
+      expect st Lexer.RBRACE "}";
+      funcs := { fname = name; params; body } :: !funcs
+    | Lexer.LBRACKET ->
+      advance st;
+      let declared_size =
+        if peek st = Lexer.RBRACKET then None
+        else Some (const_eval st (parse_ternary st))
+      in
+      expect st Lexer.RBRACKET "]";
+      let init =
+        if peek st = Lexer.ASSIGN then begin
+          advance st;
+          match peek st with
+          | Lexer.STRING s ->
+            advance st;
+            string_to_init s
+          | _ -> parse_initializer_list st
+        end
+        else []
+      in
+      expect st Lexer.SEMI ";";
+      let size =
+        match declared_size with
+        | Some n -> n
+        | None ->
+          if init = [] then fail st "array with neither size nor initializer"
+          else List.length init
+      in
+      globals := Garr (name, size, init) :: !globals
+    | Lexer.ASSIGN ->
+      advance st;
+      let v = const_eval st (parse_ternary st) in
+      expect st Lexer.SEMI ";";
+      globals := Gvar (name, v) :: !globals
+    | Lexer.SEMI ->
+      advance st;
+      globals := Gvar (name, 0) :: !globals
+    | _ -> fail st "expected function body or global initializer"
+  done;
+  { globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  parse_program st
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_ternary st in
+  expect st Lexer.EOF "end of input";
+  e

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for MinC.
+
+    Grammar (C subset): top-level global scalar/array declarations and
+    function definitions; statements cover declarations, assignments
+    (including compound assignment and [++]/[--]), [if]/[else], [while],
+    [do]/[while], three-clause [for], [switch] with fallthrough case
+    groups, [break]/[continue]/[return], and expression statements.
+    Expressions use C precedence, with [?:], short-circuit [&&]/[||], and
+    function calls.  String literals are sugar for NUL-terminated int-array
+    initializers. *)
+
+exception Error of string * int
+(** [Error (message, line)]. *)
+
+val parse : string -> Ast.program
+(** Parse a full translation unit.  Raises {!Error} or {!Lexer.Error}. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests). *)

@@ -1,0 +1,220 @@
+open Ast
+
+exception Error of string
+
+let builtins =
+  [ ("print_int", 1); ("print_char", 1); ("input", 1); ("input_len", 0) ]
+
+let errorf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+let link_stdlib prog =
+  let lib = Parser.parse Stdlib_src.source in
+  let defined_funcs =
+    List.fold_left (fun s f -> Sset.add f.fname s) Sset.empty prog.funcs
+  in
+  let defined_globals =
+    List.fold_left
+      (fun s g ->
+        match g with Gvar (n, _) | Garr (n, _, _) -> Sset.add n s)
+      Sset.empty prog.globals
+  in
+  let extra_funcs =
+    List.filter (fun f -> not (Sset.mem f.fname defined_funcs)) lib.funcs
+  in
+  let extra_globals =
+    List.filter
+      (fun g ->
+        match g with
+        | Gvar (n, _) | Garr (n, _, _) -> not (Sset.mem n defined_globals))
+      lib.globals
+  in
+  {
+    globals = prog.globals @ extra_globals;
+    funcs = prog.funcs @ extra_funcs;
+  }
+
+type kind = Scalar | Array
+
+let check prog =
+  (* global environment *)
+  let globals =
+    List.fold_left
+      (fun env g ->
+        match g with
+        | Gvar (n, _) ->
+          if Smap.mem n env then errorf "duplicate global %s" n;
+          Smap.add n Scalar env
+        | Garr (n, size, init) ->
+          if Smap.mem n env then errorf "duplicate global %s" n;
+          if size <= 0 then errorf "global array %s has size %d" n size;
+          if List.length init > size then
+            errorf "global array %s initializer overflows" n;
+          Smap.add n Array env)
+      Smap.empty prog.globals
+  in
+  let arities =
+    List.fold_left
+      (fun env f ->
+        if Smap.mem f.fname env then errorf "duplicate function %s" f.fname;
+        Smap.add f.fname (List.length f.params) env)
+      Smap.empty prog.funcs
+  in
+  let arities =
+    List.fold_left
+      (fun env (n, a) ->
+        if Smap.mem n env then
+          errorf "function %s collides with a builtin" n
+        else Smap.add n a env)
+      arities builtins
+  in
+  (match Smap.find_opt "main" arities with
+  | Some 0 -> ()
+  | Some n -> errorf "main must take no parameters (has %d)" n
+  | None -> errorf "no main function");
+  let check_func f =
+    let where = f.fname in
+    let params =
+      List.fold_left
+        (fun env p ->
+          if Smap.mem p env then
+            errorf "%s: duplicate parameter %s" where p;
+          Smap.add p Scalar env)
+        Smap.empty f.params
+    in
+    let rec check_expr env e =
+      match e with
+      | Int _ -> ()
+      | Var v -> (
+        match Smap.find_opt v env with
+        | Some Scalar -> ()
+        | Some Array -> errorf "%s: array %s used as scalar" where v
+        | None -> errorf "%s: undeclared variable %s" where v)
+      | Index (a, idx) ->
+        (match Smap.find_opt a env with
+        | Some Array -> ()
+        | Some Scalar -> errorf "%s: scalar %s indexed" where a
+        | None -> errorf "%s: undeclared array %s" where a);
+        check_expr env idx
+      | Unary (_, e) -> check_expr env e
+      | Binary (_, a, b) ->
+        check_expr env a;
+        check_expr env b
+      | Ternary (c, a, b) ->
+        check_expr env c;
+        check_expr env a;
+        check_expr env b
+      | Call (fn, args) ->
+        (match Smap.find_opt fn arities with
+        | Some arity ->
+          if List.length args <> arity then
+            errorf "%s: %s expects %d arguments, got %d" where fn arity
+              (List.length args)
+        | None -> errorf "%s: call to undefined function %s" where fn);
+        List.iter (check_expr env) args
+    in
+    (* [env] threads declarations forward through the block; [in_loop]
+       guards break/continue. *)
+    let rec check_stmts env ~in_loop stmts =
+      ignore
+        (List.fold_left
+           (fun env s -> check_stmt env ~in_loop s)
+           env stmts)
+    and check_stmt env ~in_loop s =
+      match s with
+      | Decl (n, init) ->
+        Option.iter (check_expr env) init;
+        Smap.add n Scalar env
+      | Array_decl (n, size, init) ->
+        if size <= 0 then errorf "%s: array %s has size %d" where n size;
+        if List.length init > size then
+          errorf "%s: array %s initializer overflows" where n;
+        Smap.add n Array env
+      | Assign (n, e) ->
+        (match Smap.find_opt n env with
+        | Some Scalar -> ()
+        | Some Array -> errorf "%s: assignment to array %s" where n
+        | None -> errorf "%s: assignment to undeclared %s" where n);
+        check_expr env e;
+        env
+      | Store (a, idx, e) ->
+        (match Smap.find_opt a env with
+        | Some Array -> ()
+        | Some Scalar -> errorf "%s: scalar %s indexed in store" where a
+        | None -> errorf "%s: store to undeclared array %s" where a);
+        check_expr env idx;
+        check_expr env e;
+        env
+      | If (c, t, f') ->
+        check_expr env c;
+        check_stmts env ~in_loop t;
+        check_stmts env ~in_loop f';
+        env
+      | While (c, body) ->
+        check_expr env c;
+        check_stmts env ~in_loop:true body;
+        env
+      | Do_while (body, c) ->
+        check_stmts env ~in_loop:true body;
+        check_expr env c;
+        env
+      | For (init, cond, step, body) ->
+        let env' =
+          match init with
+          | None -> env
+          | Some s -> check_stmt env ~in_loop s
+        in
+        Option.iter (check_expr env') cond;
+        (match step with
+        | None -> ()
+        | Some s -> ignore (check_stmt env' ~in_loop:true s));
+        check_stmts env' ~in_loop:true body;
+        env
+      | Switch (e, cases, default) ->
+        check_expr env e;
+        let seen =
+          List.fold_left
+            (fun seen (labels, body) ->
+              let seen =
+                List.fold_left
+                  (fun seen l ->
+                    if List.mem l seen then
+                      errorf "%s: duplicate case label %d" where l;
+                    l :: seen)
+                  seen labels
+              in
+              check_stmts env ~in_loop:true body;
+              seen)
+            [] cases
+        in
+        ignore seen;
+        Option.iter (check_stmts env ~in_loop:true) default;
+        env
+      | Return e ->
+        Option.iter (check_expr env) e;
+        env
+      | Break | Continue ->
+        if not in_loop then
+          errorf "%s: break/continue outside loop or switch" where;
+        env
+      | Expr_stmt e ->
+        check_expr env e;
+        env
+      | Block body ->
+        check_stmts env ~in_loop body;
+        env
+    in
+    let env0 =
+      Smap.union (fun _ _ local -> Some local) globals params
+    in
+    check_stmts env0 ~in_loop:false f.body
+  in
+  List.iter check_func prog.funcs
+
+let analyze source =
+  let prog = Parser.parse source in
+  let prog = link_stdlib prog in
+  check prog;
+  prog

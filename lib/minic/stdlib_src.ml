@@ -1,0 +1,72 @@
+(* The MinC standard library.
+
+   These functions are appended (when not already defined) to every program
+   by {!Sema.link_stdlib}, as ordinary MinC source.  Compiling them like
+   user code is the point: function inlining, builtin expansion and the
+   other inter-procedural optimizations of the pass pipeline apply to them
+   exactly as GCC's builtins interact with user calls in the paper (§3.2,
+   Figure 3d).
+
+   Array-typed parameters are expressed through the global scratch arrays
+   [__mem]: MinC has no pointers, so the string functions operate on
+   offsets into a single global byte array, mirroring a flat memory
+   model. *)
+
+let source =
+  {|
+int __mem[4096];
+
+int strlen(int off) {
+  int n = 0;
+  while (__mem[off + n] != 0) { n++; }
+  return n;
+}
+
+int strcpy(int dst, int src) {
+  int i = 0;
+  while (__mem[src + i] != 0) {
+    __mem[dst + i] = __mem[src + i];
+    i++;
+  }
+  __mem[dst + i] = 0;
+  return dst;
+}
+
+int strcmp(int a, int b) {
+  int i = 0;
+  while (__mem[a + i] != 0 && __mem[a + i] == __mem[b + i]) { i++; }
+  return __mem[a + i] - __mem[b + i];
+}
+
+int memset(int dst, int value, int count) {
+  int i;
+  for (i = 0; i < count; i++) { __mem[dst + i] = value; }
+  return dst;
+}
+
+int memcpy(int dst, int src, int count) {
+  int i;
+  for (i = 0; i < count; i++) { __mem[dst + i] = __mem[src + i]; }
+  return dst;
+}
+
+int abs_(int x) {
+  if (x < 0) { return -x; }
+  return x;
+}
+
+int min_(int a, int b) {
+  if (a < b) { return a; }
+  return b;
+}
+
+int max_(int a, int b) {
+  if (a > b) { return a; }
+  return b;
+}
+|}
+
+(* Functions whose calls the builtin-expansion pass may replace with
+   straight-line code when the arguments make the trip count a small
+   constant (the strcpy-as-mov-sequence effect of Figure 3d). *)
+let expandable = [ "memset"; "memcpy"; "strcpy" ]

@@ -1,0 +1,164 @@
+open Vir.Ir
+
+(* ------------------------------------------------------------------ *)
+(* Instruction substitution                                            *)
+(* ------------------------------------------------------------------ *)
+
+let substitute_instructions rng f =
+  let rewrite i =
+    match i with
+    | Bin (Add, d, a, b) when Util.Rng.int rng 100 < 60 ->
+      (* x + y = x - (-y) *)
+      let t = fresh_reg f in
+      [ Un (Neg, t, b); Bin (Sub, d, a, Reg t) ]
+    | Bin (Sub, d, a, b) when Util.Rng.int rng 100 < 60 ->
+      (* x - y = x + (-y) *)
+      let t = fresh_reg f in
+      [ Un (Neg, t, b); Bin (Add, d, a, Reg t) ]
+    | Bin (Xor, d, a, b) when Util.Rng.int rng 100 < 50 ->
+      (* x ^ y = (x | y) - (x & y) *)
+      let t1 = fresh_reg f and t2 = fresh_reg f in
+      [ Bin (Or, t1, a, b); Bin (And, t2, a, b); Bin (Sub, d, Reg t1, Reg t2) ]
+    | Bin (Or, d, a, b) when Util.Rng.int rng 100 < 50 ->
+      (* x | y = (x & y) | (x ^ y)  — via add: (x ^ y) + (x & y) *)
+      let t1 = fresh_reg f and t2 = fresh_reg f in
+      [ Bin (Xor, t1, a, b); Bin (And, t2, a, b); Bin (Add, d, Reg t1, Reg t2) ]
+    | Bin (And, d, a, b) when Util.Rng.int rng 100 < 40 ->
+      (* x & y = (x | y) - (x ^ y) *)
+      let t1 = fresh_reg f and t2 = fresh_reg f in
+      [ Bin (Or, t1, a, b); Bin (Xor, t2, a, b); Bin (Sub, d, Reg t1, Reg t2) ]
+    | _ -> [ i ]
+  in
+  List.iter (fun b -> b.instrs <- List.concat_map rewrite b.instrs) f.blocks
+
+(* ------------------------------------------------------------------ *)
+(* Bogus control flow                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Guard roughly a third of the blocks with an opaque predicate:
+   (x² + x) mod 2 == 0 holds for every integer x, so the true edge always
+   fires; the false edge enters a junk block that jumps back to the
+   guard, forming a dead loop the static CFG cannot dismiss. *)
+let bogus_control_flow rng f =
+  let victims =
+    List.filter
+      (fun (b : block) -> b.instrs <> [] && Util.Rng.int rng 100 < 35)
+      f.blocks
+  in
+  List.iter
+    (fun (victim : block) ->
+      let guard_label = fresh_label f in
+      let junk_label = fresh_label f in
+      let real_label = fresh_label f in
+      (* move the victim's body into a new block; the victim becomes the
+         guard so predecessors need no retargeting *)
+      let real =
+        { label = real_label; instrs = victim.instrs; term = victim.term }
+      in
+      let x = fresh_reg f in
+      let x2 = fresh_reg f in
+      let sum = fresh_reg f in
+      let parity = fresh_reg f in
+      let cond = fresh_reg f in
+      let seed_val = Util.Rng.int rng 1000 in
+      let junk_t = fresh_reg f in
+      let junk =
+        {
+          label = junk_label;
+          instrs = [ Bin (Add, junk_t, Reg x, Imm 13) ];
+          term = Jmp guard_label;
+        }
+      in
+      let guard =
+        {
+          label = guard_label;
+          instrs =
+            [
+              Mov (x, Imm seed_val);
+              Bin (Mul, x2, Reg x, Reg x);
+              Bin (Add, sum, Reg x2, Reg x);
+              Bin (And, parity, Reg sum, Imm 1);
+              Bin (Seq, cond, Reg parity, Imm 0);
+            ];
+          term = Br (Reg cond, real_label, junk_label);
+        }
+      in
+      victim.instrs <- guard.instrs;
+      victim.term <- guard.term;
+      (* rename: the guard reuses the victim's label; insert real + junk
+         after it in layout *)
+      let rec insert = function
+        | [] -> [ real; junk ]
+        | b :: rest when b.label = victim.label -> b :: real :: junk :: rest
+        | b :: rest -> b :: insert rest
+      in
+      f.blocks <- insert f.blocks;
+      (* junk jumps back to the victim (the guard) *)
+      junk.term <- Jmp victim.label)
+    victims
+
+(* ------------------------------------------------------------------ *)
+(* Control-flow flattening                                             *)
+(* ------------------------------------------------------------------ *)
+
+let flatten f =
+  match f.blocks with
+  | [] | [ _ ] -> ()
+  | entry :: rest ->
+    let state = fresh_reg f in
+    let dispatch_label = fresh_label f in
+    (* each block's terminator becomes a state update + jump to the
+       dispatcher; Ret / Tail_call / Switch stay direct *)
+    let reroute (b : block) =
+      match b.term with
+      | Jmp l ->
+        b.instrs <- b.instrs @ [ Mov (state, Imm l) ];
+        b.term <- Jmp dispatch_label
+      | Br (c, t, e) ->
+        let sel = fresh_reg f in
+        b.instrs <- b.instrs @ [ Select (sel, c, Imm t, Imm e); Mov (state, Reg sel) ];
+        b.term <- Jmp dispatch_label
+      | Loop_branch (r, t, e) ->
+        (* decrement explicitly, then select *)
+        let sel = fresh_reg f in
+        let nz = fresh_reg f in
+        b.instrs <-
+          b.instrs
+          @ [
+              Bin (Sub, r, Reg r, Imm 1);
+              Bin (Sne, nz, Reg r, Imm 0);
+              Select (sel, Reg nz, Imm t, Imm e);
+              Mov (state, Reg sel);
+            ];
+        b.term <- Jmp dispatch_label
+      | Ret _ | Tail_call _ | Switch _ -> ()
+    in
+    List.iter reroute f.blocks;
+    let targets =
+      List.sort_uniq compare
+        (List.concat_map (fun b -> successors b.term) (entry :: rest))
+    in
+    ignore targets;
+    let cases =
+      List.filter_map
+        (fun (b : block) ->
+          if b.label = entry.label then None else Some (b.label, b.label))
+        f.blocks
+    in
+    let dispatcher =
+      {
+        label = dispatch_label;
+        instrs = [];
+        term = Switch (Reg state, cases, entry.label);
+      }
+    in
+    f.blocks <- entry :: dispatcher :: rest
+
+let apply_all ~seed (p : program) =
+  let rng = Util.Rng.create seed in
+  List.iter
+    (fun f ->
+      substitute_instructions rng f;
+      bogus_control_flow rng f;
+      flatten f)
+    p.funcs

@@ -1,0 +1,23 @@
+(** Obfuscator-LLVM substitute (paper §5.3, "BinTuner vs Obfuscator-
+    LLVM"): the three O-LLVM schemes as IR passes.
+
+    - {!substitute_instructions}: rewrite arithmetic with equivalent but
+      longer idioms (x+y → x−(−y), x⊕y → (x∨y)−(x∧y), …), chosen
+      pseudo-randomly per site — O-LLVM's fixed substitution rules;
+    - {!bogus_control_flow}: guard blocks with always-true opaque
+      predicates (x²+x is even) whose false edge enters a junk clone;
+    - {!flatten}: route block-to-block control flow through a central
+      switch dispatcher driven by a state variable.
+
+    All passes preserve semantics; [apply_all] runs the three in O-LLVM's
+    order. *)
+
+val substitute_instructions : Util.Rng.t -> Vir.Ir.func -> unit
+
+val bogus_control_flow : Util.Rng.t -> Vir.Ir.func -> unit
+
+val flatten : Vir.Ir.func -> unit
+
+val apply_all : seed:int -> Vir.Ir.program -> unit
+(** Obfuscate every function (including stdlib — O-LLVM sees the whole
+    module). *)

@@ -1,0 +1,53 @@
+(** Flag-gated source-level (AST) transformation passes.
+
+    These implement the inter-procedural and loop optimizations the paper
+    identifies as the main sources of binary code difference (§3.1):
+    function inlining, loop unrolling / peeling / unswitching /
+    distribution / unroll-and-jam, builtin expansion, and function
+    instrumentation.  All passes are semantics-preserving; each returns a
+    new program. *)
+
+val normalize_calls : Minic.Ast.program -> Minic.Ast.program
+(** Hoist nested calls into temporaries so every call appears as the
+    right-hand side of an assignment/declaration or as a bare statement.
+    Loop conditions and steps are left alone (their calls are simply not
+    inlined).  Run before {!inline} and {!expand_builtins}. *)
+
+val inline :
+  max_size:int -> rounds:int -> Minic.Ast.program -> Minic.Ast.program
+(** Inline non-recursive callees of size ≤ [max_size] at normalized call
+    sites, [rounds] times.  Return statements in the callee become writes
+    to the result temporary guarded by a completion flag, so arbitrary
+    control flow inlines correctly.  [-finline-small-functions] uses a
+    small [max_size]; [-finline-functions] a large one. *)
+
+val unroll :
+  factor:int -> full_limit:int -> Minic.Ast.program -> Minic.Ast.program
+(** Unroll counted [for] loops by [factor] (with a scalar remainder
+    loop); loops with a compile-time trip count ≤ [full_limit] are fully
+    unrolled.  Code-growth caps mirror real compilers' unroll limits.
+    [-funroll-loops]. *)
+
+val peel : Minic.Ast.program -> Minic.Ast.program
+(** Peel the first iteration of counted loops.  [-fpeel-loops]. *)
+
+val unswitch : Minic.Ast.program -> Minic.Ast.program
+(** Hoist loop-invariant conditionals out of loops, duplicating the loop
+    body on both branches.  [-funswitch-loops]. *)
+
+val distribute : Minic.Ast.program -> Minic.Ast.program
+(** Split constant-initialization stores out of mixed loops into their
+    own (memset-shaped) loops.  [-ftree-loop-distribute-patterns]. *)
+
+val unroll_and_jam : Minic.Ast.program -> Minic.Ast.program
+(** Unroll 2× the outer loop of a 2-deep nest and fuse the inner bodies.
+    [-floop-unroll-and-jam]. *)
+
+val expand_builtins : Minic.Ast.program -> Minic.Ast.program
+(** Expand [memset]/[memcpy] calls with constant arguments and small
+    counts into straight-line stores (the strcpy-as-mov-sequence effect
+    of Figure 3d).  Requires {!normalize_calls} first. *)
+
+val instrument : Minic.Ast.program -> Minic.Ast.program
+(** [-finstrument-functions]: wrap every user function in an entry/exit
+    bookkeeping shim, redirecting all calls through the wrapper. *)

@@ -1,0 +1,124 @@
+open Vir.Ir
+module Iset = Set.Make (Int)
+
+let reachable f =
+  let block_table = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace block_table b.label b) f.blocks;
+  let seen = ref Iset.empty in
+  let rec go l =
+    if not (Iset.mem l !seen) then begin
+      seen := Iset.add l !seen;
+      match Hashtbl.find_opt block_table l with
+      | Some b -> List.iter go (successors b.term)
+      | None -> ()
+    end
+  in
+  (match f.blocks with b :: _ -> go b.label | [] -> ());
+  !seen
+
+let dominators f =
+  let reach = reachable f in
+  let blocks = List.filter (fun b -> Iset.mem b.label reach) f.blocks in
+  let labels = List.map (fun b -> b.label) blocks in
+  let all = Iset.of_list labels in
+  let entry = (entry_block f).label in
+  let preds_tbl = predecessors f in
+  let dom = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if l = entry then Hashtbl.replace dom l (Iset.singleton entry)
+      else Hashtbl.replace dom l all)
+    labels;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> entry then begin
+          let preds =
+            (try Hashtbl.find preds_tbl l with Not_found -> [])
+            |> List.filter (fun p -> Iset.mem p reach)
+          in
+          let inter =
+            List.fold_left
+              (fun acc p ->
+                let dp = Hashtbl.find dom p in
+                match acc with
+                | None -> Some dp
+                | Some s -> Some (Iset.inter s dp))
+              None preds
+          in
+          let nd =
+            match inter with
+            | None -> Iset.singleton l
+            | Some s -> Iset.add l s
+          in
+          if not (Iset.equal nd (Hashtbl.find dom l)) then begin
+            Hashtbl.replace dom l nd;
+            changed := true
+          end
+        end)
+      labels
+  done;
+  dom
+
+type loop = {
+  header : int;
+  body : Iset.t;
+  back_edges : int list;
+}
+
+let natural_loops f =
+  let dom = dominators f in
+  let reach = reachable f in
+  let preds_tbl = predecessors f in
+  let block_table = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace block_table b.label b) f.blocks;
+  (* back edge: s → h where h dominates s *)
+  let back = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      if Iset.mem b.label reach then
+        List.iter
+          (fun succ ->
+            match Hashtbl.find_opt dom b.label with
+            | Some doms when Iset.mem succ doms ->
+              let cur = try Hashtbl.find back succ with Not_found -> [] in
+              Hashtbl.replace back succ (b.label :: cur)
+            | Some _ | None -> ())
+          (successors b.term))
+    f.blocks;
+  let loop_of_header header latches =
+    (* body = header ∪ nodes that reach a latch without passing header *)
+    let body = ref (Iset.singleton header) in
+    let rec up l =
+      if not (Iset.mem l !body) then begin
+        body := Iset.add l !body;
+        let preds = try Hashtbl.find preds_tbl l with Not_found -> [] in
+        List.iter up (List.filter (fun p -> Iset.mem p reach) preds)
+      end
+    in
+    List.iter up latches;
+    { header; body = !body; back_edges = latches }
+  in
+  let loops =
+    Hashtbl.fold (fun h latches acc -> loop_of_header h latches :: acc) back []
+  in
+  List.sort (fun a b -> compare (Iset.cardinal a.body) (Iset.cardinal b.body)) loops
+
+let block_order_dfs f =
+  let block_table = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace block_table b.label b) f.blocks;
+  let seen = ref Iset.empty in
+  let order = ref [] in
+  let rec go l =
+    if not (Iset.mem l !seen) then begin
+      seen := Iset.add l !seen;
+      (match Hashtbl.find_opt block_table l with
+      | Some b -> List.iter go (successors b.term)
+      | None -> ());
+      order := l :: !order
+    end
+  in
+  (match f.blocks with b :: _ -> go b.label | [] -> ());
+  !order

@@ -1,0 +1,46 @@
+(** Flag-gated IR-level transformation passes.
+
+    Together with {!Ast_opt} these implement the optimization effects the
+    paper studies: branch-free code via if-conversion (Figure 2b),
+    decrement-and-branch loops ([-fbranch-count-reg]), strength reduction
+    of multiplication/division/modulo by constants (Figure 3a), tail-call
+    optimization (§3.1.1), SLP vectorization of adjacent stores, loop-
+    invariant code motion, and the block/function layout passes. *)
+
+val strength_reduce : Vir.Ir.func -> unit
+(** Rewrite [*, /, %] by suitable constants into shift/add sequences
+    (division and modulo restricted to powers of two; multiplication
+    handles any constant with ≤ 2 set bits and 2^k−1 patterns). *)
+
+val if_convert : Vir.Ir.func -> unit
+(** Convert two-sided (diamond) and one-sided (triangle) branches whose
+    arms are single register assignments into branch-free {!Vir.Ir.Select}
+    instructions (cmov). *)
+
+val licm : Vir.Ir.func -> unit
+(** Hoist loop-invariant pure instructions into freshly created loop
+    preheaders ([-fmove-loop-invariants]). *)
+
+val tail_call : Vir.Ir.func -> unit
+(** Replace call-then-return sequences with {!Vir.Ir.Tail_call}
+    terminators (the jump-instead-of-call effect of §3.1.1). *)
+
+val branch_count_reg : Vir.Ir.func -> unit
+(** Fuse decrement + branch-if-nonzero into {!Vir.Ir.Loop_branch} (the
+    x86 [loop] instruction; [-fbranch-count-reg]). *)
+
+val slp_vectorize : Vir.Ir.func -> unit
+(** Pack runs of 4 stores to consecutive constant indices of one array
+    into a vector store ([-fslp-vectorize]). *)
+
+val reorder_blocks : Vir.Ir.func -> unit
+(** Lay blocks out in reverse postorder to maximize fallthrough
+    ([-freorder-blocks]). *)
+
+val partition_blocks : Vir.Ir.func -> unit
+(** Reverse postorder, then move loop-free "cold" blocks behind the hot
+    (loop) section ([-freorder-blocks-and-partition]). *)
+
+val reorder_functions : Vir.Ir.program -> unit
+(** Emit functions in descending static-call-count order instead of
+    source order ([-freorder-functions]). *)

@@ -1,0 +1,92 @@
+type label = {
+  profile : string;
+  preset : string;
+}
+
+type model = {
+  centroids : (label * float array) list;
+  mutable threshold : float;
+}
+
+let nfeat = Diffing.Bcode.n_opcode_classes + 8
+
+let features (bin : Isa.Binary.t) =
+  let v = Array.make nfeat 0.0 in
+  let insns = Isa.Codec.decode_all bin.arch bin.text in
+  let n = max 1 (List.length insns) in
+  List.iter
+    (fun (_, i) ->
+      let k = Diffing.Bcode.opcode_class i in
+      v.(k) <- v.(k) +. 1.0;
+      let extra = Diffing.Bcode.n_opcode_classes in
+      match i with
+      | Isa.Insn.Inop -> v.(extra) <- v.(extra) +. 1.0  (* alignment pads *)
+      | Isa.Insn.Ijtab _ -> v.(extra + 1) <- v.(extra + 1) +. 1.0
+      | Isa.Insn.Iloop _ -> v.(extra + 2) <- v.(extra + 2) +. 1.0
+      | Isa.Insn.Icmov _ | Isa.Insn.Isetcc _ -> v.(extra + 3) <- v.(extra + 3) +. 1.0
+      | Isa.Insn.Ivalu _ | Isa.Insn.Ivld _ | Isa.Insn.Ivst _ ->
+        v.(extra + 4) <- v.(extra + 4) +. 1.0
+      | Isa.Insn.Ipush (Isa.Insn.Oreg r) when r = Isa.Insn.fp ->
+        v.(extra + 5) <- v.(extra + 5) +. 1.0  (* frame-pointer prologues *)
+      | Isa.Insn.Icallr _ -> v.(extra + 6) <- v.(extra + 6) +. 1.0
+      | Isa.Insn.Iinc _ | Isa.Insn.Idec _ | Isa.Insn.Ixorz _ ->
+        v.(extra + 7) <- v.(extra + 7) +. 1.0  (* peephole idioms *)
+      | _ -> ())
+    insns;
+  (* normalize by instruction count *)
+  Array.map (fun x -> x /. float_of_int n) v
+
+let distance a b =
+  let d = ref 0.0 in
+  Array.iteri (fun i x -> d := !d +. ((x -. b.(i)) ** 2.0)) a;
+  sqrt !d
+
+let train labelled =
+  (* group by label, average features *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (lbl, bin) ->
+      let f = features bin in
+      let cur = try Hashtbl.find groups lbl with Not_found -> [] in
+      Hashtbl.replace groups lbl (f :: cur))
+    labelled;
+  let centroids =
+    Hashtbl.fold
+      (fun lbl fs acc ->
+        let n = List.length fs in
+        let c = Array.make nfeat 0.0 in
+        List.iter (fun f -> Array.iteri (fun i x -> c.(i) <- c.(i) +. x) f) fs;
+        let c = Array.map (fun x -> x /. float_of_int n) c in
+        (lbl, c) :: acc)
+      groups []
+  in
+  (* threshold: 95th percentile of in-class sample→own-centroid distance *)
+  let dists =
+    List.map
+      (fun (lbl, bin) ->
+        let c = List.assoc lbl centroids in
+        distance (features bin) c)
+      labelled
+  in
+  let threshold = Util.Stats.percentile dists 0.95 *. 1.25 in
+  { centroids; threshold = max threshold 0.01 }
+
+let classify model bin =
+  let f = features bin in
+  let best =
+    List.fold_left
+      (fun acc (lbl, c) ->
+        let d = distance f c in
+        match acc with
+        | Some (_, bd) when bd <= d -> acc
+        | _ -> Some (lbl, d))
+      None model.centroids
+  in
+  match best with
+  | None -> ({ profile = "unknown"; preset = "non-default" }, infinity)
+  | Some (lbl, d) ->
+    if d > model.threshold then
+      ({ profile = lbl.profile; preset = "non-default" }, d)
+    else (lbl, d)
+
+let set_threshold model t = model.threshold <- t

@@ -1,0 +1,94 @@
+module AO = Passes.Ast_opt
+module IO = Passes.Ir_opt
+module C = Passes.Cleanup
+
+let apply_passes (cfg : Config.t) (ast : Minic.Ast.program) : Vir.Ir.program =
+  (* --- AST-level, in a fixed canonical order --- *)
+  let ast = if cfg.instrument then AO.instrument ast else ast in
+  let needs_norm =
+    cfg.inline_small || cfg.inline_big || cfg.expand_builtins
+  in
+  let ast = if needs_norm then AO.normalize_calls ast else ast in
+  let ast = if cfg.expand_builtins then AO.expand_builtins ast else ast in
+  let ast =
+    if cfg.inline_big then
+      AO.inline ~max_size:cfg.inline_big_threshold ~rounds:cfg.inline_rounds
+        ast
+    else if cfg.inline_small then
+      AO.inline ~max_size:cfg.inline_small_threshold
+        ~rounds:cfg.inline_rounds ast
+    else ast
+  in
+  let ast = if cfg.unswitch then AO.unswitch ast else ast in
+  let ast = if cfg.distribute then AO.distribute ast else ast in
+  let ast = if cfg.unroll_and_jam then AO.unroll_and_jam ast else ast in
+  let ast =
+    if cfg.unroll then
+      AO.unroll ~factor:cfg.unroll_factor ~full_limit:cfg.full_unroll_limit
+        ast
+    else ast
+  in
+  let ast = if cfg.peel then AO.peel ast else ast in
+  (* --- lowering --- *)
+  let ir =
+    Vir.Lower.lower_program
+      ~options:
+        {
+          Vir.Lower.merge_conditionals = cfg.merge_conditionals;
+          vectorize = cfg.vectorize;
+        }
+      ast
+  in
+  (* --- IR-level --- *)
+  List.iter
+    (fun f ->
+      (* even -O0 emits structurally merged straight-line code: trivial
+         jump chains from lowering never survive a real compiler *)
+      C.simplify_cfg f;
+      if cfg.baseline then C.run_baseline f;
+      if cfg.strength_reduce then begin
+        IO.strength_reduce f;
+        if cfg.baseline then begin
+          C.lvn f;
+          C.dce f
+        end
+      end;
+      if cfg.licm then IO.licm f;
+      if cfg.if_convert then IO.if_convert f;
+      if cfg.slp then IO.slp_vectorize f;
+      if cfg.extra_lvn then begin
+        C.lvn f;
+        C.dce f
+      end;
+      if cfg.tail_call then IO.tail_call f;
+      if cfg.branch_count_reg then IO.branch_count_reg f;
+      if cfg.reorder_blocks then IO.reorder_blocks f;
+      if cfg.partition then IO.partition_blocks f;
+      if cfg.if_convert_late then IO.if_convert f;
+      if cfg.late_cleanup && cfg.baseline then C.run_baseline f)
+    ir.funcs;
+  if cfg.reorder_functions then IO.reorder_functions ir;
+  ir
+
+let compile ?(config = Config.o0) ~arch ~profile ~opt_label ast =
+  let ir = apply_passes config ast in
+  Codegen.Emit.compile_program
+    ~options:(Config.codegen_options config)
+    ~arch ~profile ~opt_label ir
+
+let compile_flags p ?(arch = Isa.Insn.X86_64) vector ast =
+  let config = Flags.resolve p vector in
+  compile ~config ~arch ~profile:p.Flags.profile_name ~opt_label:"custom" ast
+
+let compile_preset p ?(arch = Isa.Insn.X86_64) name ast =
+  match name with
+  | "O0" ->
+    compile ~config:Config.o0 ~arch ~profile:p.Flags.profile_name
+      ~opt_label:"-O0" ast
+  | _ -> (
+    match Flags.preset p name with
+    | Some vector ->
+      let config = Flags.resolve p vector in
+      compile ~config ~arch ~profile:p.Flags.profile_name
+        ~opt_label:("-" ^ name) ast
+    | None -> invalid_arg ("Pipeline.compile_preset: unknown preset " ^ name))

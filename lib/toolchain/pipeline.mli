@@ -1,0 +1,37 @@
+(** The compiler driver: MinC source/AST + configuration → VX binary.
+
+    This is BinTuner's "Compiler Interface" (§4.1): it glues the frontend,
+    the flag-gated pass pipeline and the code generator, and is what the
+    genetic algorithm invokes once per individual per generation. *)
+
+val apply_passes : Config.t -> Minic.Ast.program -> Vir.Ir.program
+(** Run the AST passes, lowering, and IR passes dictated by the
+    configuration and return the optimized IR (exposed for tests). *)
+
+val compile :
+  ?config:Config.t ->
+  arch:Isa.Insn.arch ->
+  profile:string ->
+  opt_label:string ->
+  Minic.Ast.program ->
+  Isa.Binary.t
+(** Compile a checked program (see {!Minic.Sema.analyze}).  The default
+    configuration is {!Config.o0}. *)
+
+val compile_flags :
+  Flags.profile ->
+  ?arch:Isa.Insn.arch ->
+  bool array ->
+  Minic.Ast.program ->
+  Isa.Binary.t
+(** Compile under an explicit flag vector of the given profile (the
+    GA's entry point).  Default arch x86-64. *)
+
+val compile_preset :
+  Flags.profile ->
+  ?arch:Isa.Insn.arch ->
+  string ->
+  Minic.Ast.program ->
+  Isa.Binary.t
+(** Compile at a named preset: "O0", "O1", "O2", "O3" or "Os".  Raises
+    [Invalid_argument] on an unknown preset name. *)

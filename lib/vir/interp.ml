@@ -1,0 +1,222 @@
+open Ir
+
+type output_item = Out_int of int | Out_char of int
+
+type result = {
+  output : output_item list;
+  return_value : int;
+  steps : int;
+}
+
+exception Trap of string
+
+exception Out_of_fuel
+
+let trapf fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+type state = {
+  globals : (string, int array) Hashtbl.t;
+  funcs : (string, func) Hashtbl.t;
+  input : int array;
+  mutable out_rev : output_item list;
+  mutable fuel : int;
+  mutable steps : int;
+}
+
+let tick st =
+  st.steps <- st.steps + 1;
+  st.fuel <- st.fuel - 1;
+  if st.fuel <= 0 then raise Out_of_fuel
+
+let init_array size init =
+  let a = Array.make size 0 in
+  List.iteri (fun i v -> if i < size then a.(i) <- v) init;
+  a
+
+(* One call frame: register file, vector registers, slots, local arrays. *)
+type frame = {
+  regs : (int, int) Hashtbl.t;
+  vregs : (int, int array) Hashtbl.t;
+  slots : int array;
+  locals : (string, int array) Hashtbl.t;
+}
+
+let max_depth = 2000
+
+let rec call st depth fname args =
+  if depth > max_depth then trapf "stack overflow calling %s" fname;
+  let f =
+    match Hashtbl.find_opt st.funcs fname with
+    | Some f -> f
+    | None -> trapf "call to unknown function %s" fname
+  in
+  if List.length args <> List.length f.params then
+    trapf "%s: arity mismatch" fname;
+  let frame =
+    {
+      regs = Hashtbl.create 64;
+      vregs = Hashtbl.create 8;
+      slots = Array.make (max f.nslots 1) 0;
+      locals = Hashtbl.create 4;
+    }
+  in
+  List.iter2 (fun p v -> Hashtbl.replace frame.regs p v) f.params args;
+  List.iter
+    (fun (name, size, init) ->
+      Hashtbl.replace frame.locals name (init_array size init))
+    f.local_arrays;
+  let reg frame r =
+    match Hashtbl.find_opt frame.regs r with Some v -> v | None -> 0
+  in
+  let vreg frame r =
+    match Hashtbl.find_opt frame.vregs r with
+    | Some v -> v
+    | None -> Array.make 4 0
+  in
+  let operand frame = function Reg r -> reg frame r | Imm n -> n in
+  let array_of frame name =
+    match Hashtbl.find_opt frame.locals name with
+    | Some a -> a
+    | None -> (
+      match Hashtbl.find_opt st.globals name with
+      | Some a -> a
+      | None -> trapf "%s: unknown array %s" fname name)
+  in
+  let load frame name idx =
+    let a = array_of frame name in
+    if idx < 0 || idx >= Array.length a then
+      trapf "%s: %s[%d] out of bounds (size %d)" fname name idx
+        (Array.length a);
+    a.(idx)
+  in
+  let store frame name idx v =
+    let a = array_of frame name in
+    if idx < 0 || idx >= Array.length a then
+      trapf "%s: %s[%d] out of bounds (size %d)" fname name idx
+        (Array.length a);
+    a.(idx) <- v
+  in
+  let exec_instr frame i =
+    tick st;
+    match i with
+    | Bin (op, d, a, b) ->
+      Hashtbl.replace frame.regs d
+        (eval_binop op (operand frame a) (operand frame b))
+    | Un (op, d, a) -> Hashtbl.replace frame.regs d (eval_unop op (operand frame a))
+    | Mov (d, a) -> Hashtbl.replace frame.regs d (operand frame a)
+    | Select (d, c, a, b) ->
+      Hashtbl.replace frame.regs d
+        (if operand frame c <> 0 then operand frame a else operand frame b)
+    | Load (d, g, idx) ->
+      Hashtbl.replace frame.regs d (load frame g (operand frame idx))
+    | Store (g, idx, v) -> store frame g (operand frame idx) (operand frame v)
+    | Slot_load (d, s) ->
+      if s >= Array.length frame.slots then trapf "%s: bad slot %d" fname s;
+      Hashtbl.replace frame.regs d frame.slots.(s)
+    | Slot_store (s, v) ->
+      if s >= Array.length frame.slots then trapf "%s: bad slot %d" fname s;
+      frame.slots.(s) <- operand frame v
+    | Call (dst, callee, cargs) ->
+      let vals = List.map (operand frame) cargs in
+      let r = call st (depth + 1) callee vals in
+      (match dst with
+      | Some d -> Hashtbl.replace frame.regs d r
+      | None -> ())
+    | Vload (d, g, idx) ->
+      let base = operand frame idx in
+      Hashtbl.replace frame.vregs d
+        (Array.init 4 (fun k -> load frame g (base + k)))
+    | Vstore (g, idx, v) ->
+      let base = operand frame idx in
+      let vec = vreg frame v in
+      for k = 0 to 3 do
+        store frame g (base + k) vec.(k)
+      done
+    | Vbin (op, d, a, b) ->
+      let va = vreg frame a and vb = vreg frame b in
+      Hashtbl.replace frame.vregs d
+        (Array.init 4 (fun k -> eval_binop op va.(k) vb.(k)))
+    | Vsplat (d, v) ->
+      Hashtbl.replace frame.vregs d (Array.make 4 (operand frame v))
+    | Vpack (d, ops) ->
+      let vals = List.map (operand frame) ops in
+      if List.length vals <> 4 then trapf "%s: vpack arity" fname;
+      Hashtbl.replace frame.vregs d (Array.of_list vals)
+    | Vreduce (op, d, v) ->
+      let vec = vreg frame v in
+      Hashtbl.replace frame.regs d
+        (eval_binop op (eval_binop op vec.(0) vec.(1))
+           (eval_binop op vec.(2) vec.(3)))
+    | Print_int v -> st.out_rev <- Out_int (operand frame v) :: st.out_rev
+    | Print_char v -> st.out_rev <- Out_char (operand frame v) :: st.out_rev
+    | Read_input (d, idx) ->
+      let i = operand frame idx in
+      let v =
+        if i >= 0 && i < Array.length st.input then st.input.(i) else 0
+      in
+      Hashtbl.replace frame.regs d v
+    | Input_len d -> Hashtbl.replace frame.regs d (Array.length st.input)
+  in
+  let block_table = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace block_table b.label b) f.blocks;
+  let find_block l =
+    match Hashtbl.find_opt block_table l with
+    | Some b -> b
+    | None -> trapf "%s: jump to unknown block L%d" fname l
+  in
+  let rec run_block b =
+    List.iter (exec_instr frame) b.instrs;
+    tick st;
+    match b.term with
+    | Ret None -> 0
+    | Ret (Some v) -> operand frame v
+    | Jmp l -> run_block (find_block l)
+    | Br (c, t, e) ->
+      run_block (find_block (if operand frame c <> 0 then t else e))
+    | Loop_branch (r, body, exit_) ->
+      let v = reg frame r - 1 in
+      Hashtbl.replace frame.regs r v;
+      run_block (find_block (if v <> 0 then body else exit_))
+    | Switch (v, cases, default) ->
+      let x = operand frame v in
+      let target =
+        match List.assoc_opt x cases with Some l -> l | None -> default
+      in
+      run_block (find_block target)
+    | Tail_call (callee, cargs) ->
+      let vals = List.map (operand frame) cargs in
+      call st (depth + 1) callee vals
+  in
+  run_block (entry_block f)
+
+let run ?(fuel = 50_000_000) (p : program) ~input =
+  let st =
+    {
+      globals = Hashtbl.create 16;
+      funcs = Hashtbl.create 16;
+      input;
+      out_rev = [];
+      fuel;
+      steps = 0;
+    }
+  in
+  List.iter
+    (fun (name, g) ->
+      match g with
+      | Gscalar v -> Hashtbl.replace st.globals name [| v |]
+      | Garray (size, init) -> Hashtbl.replace st.globals name (init_array size init))
+    p.globals;
+  List.iter (fun f -> Hashtbl.replace st.funcs f.fname f) p.funcs;
+  let ret = call st 0 "main" [] in
+  { output = List.rev st.out_rev; return_value = ret; steps = st.steps }
+
+let output_to_string items =
+  let b = Buffer.create 64 in
+  List.iter
+    (function
+      | Out_int n ->
+        Buffer.add_string b (string_of_int n);
+        Buffer.add_char b '\n'
+      | Out_char c -> Buffer.add_char b (Char.chr (c land 0xFF)))
+    items;
+  Buffer.contents b

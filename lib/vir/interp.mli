@@ -1,0 +1,29 @@
+(** Reference interpreter for VIR programs.
+
+    Used for differential testing: a program's observable behaviour (its
+    output stream and main's return value) must be identical before and
+    after every optimization pass, and must match the VX virtual machine
+    running the generated binary.  This is how BinTuner's requirement that
+    "all outputs pass the test cases shipped with the dataset" is enforced
+    in the reproduction. *)
+
+type output_item = Out_int of int | Out_char of int
+
+type result = {
+  output : output_item list;
+  return_value : int;
+  steps : int;  (** dynamic instruction count *)
+}
+
+exception Trap of string
+(** Out-of-bounds access, unknown function, stack overflow. *)
+
+exception Out_of_fuel
+
+val run : ?fuel:int -> Ir.program -> input:int array -> result
+(** Execute [main].  [fuel] (default 50 million) bounds the dynamic
+    instruction count. *)
+
+val output_to_string : output_item list -> string
+(** Render the output stream for comparison: ints as decimal + newline,
+    chars literally. *)

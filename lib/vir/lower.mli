@@ -1,0 +1,31 @@
+(** Lowering from the MinC AST to VIR.
+
+    Lowering produces deliberately naive, -O0-shaped code: every local
+    scalar (including parameters) lives in a frame slot and is re-loaded
+    around each use, booleans are materialized, and all control flow uses
+    explicit branches.  The optimization passes then earn their
+    differences.
+
+    Two frontend decisions are themselves flag-controlled because they
+    cannot be recovered later:
+    - [merge_conditionals]: evaluate pure [&&]/[||] operands bitwise
+      instead of short-circuiting, merging basic blocks (the compound-
+      conditionals effect of the paper's Figure 2a);
+    - [vectorize]: rewrite eligible counted [for] loops (element-wise map
+      and add-reduction patterns) into 4-lane vector code with a scalar
+      epilogue (the loop-vectorization effect of Figure 3c). *)
+
+type options = {
+  merge_conditionals : bool;
+  vectorize : bool;
+}
+
+val default_options : options
+(** Both off: plain -O0 lowering. *)
+
+exception Error of string
+
+val lower_program : ?options:options -> Minic.Ast.program -> Ir.program
+(** Lower a checked program (see {!Minic.Sema.analyze}).  Raises {!Error}
+    on constructs Sema admits but lowering rejects (e.g. [continue]
+    directly inside a [switch] with no enclosing loop). *)

@@ -1,0 +1,42 @@
+(** The VX virtual machine: executes compiled binaries.
+
+    Machine model: 16 global general registers (R13 = stack pointer), 8
+    vector registers, a flags word set only by [Icmp]/[Itest], a flat
+    word-addressed data memory initialized from the binary's data
+    section, and a word-addressed stack used by push/pop/call/ret and
+    frame accesses.
+
+    The VM is the ground truth for functional correctness: every tuned
+    binary must produce the same output stream and exit value as the -O0
+    binary on the program's test workloads (the paper's "all of
+    BinTuner's outputs pass the test cases" check).  It also counts
+    dynamic instructions, which Table 3's speedup comparison uses. *)
+
+type result = {
+  output : Vir.Interp.output_item list;
+  return_value : int;
+  steps : int;  (** dynamic instruction count *)
+}
+
+exception Trap of string
+(** Invalid memory access, bad jump target, stack overflow, division
+    handled per MinC semantics (never traps). *)
+
+exception Out_of_fuel
+
+val run :
+  ?fuel:int -> ?stack_words:int -> Isa.Binary.t -> input:int array -> result
+(** Execute from the binary's entry function.  Default fuel 100 million
+    instructions, default stack 1 Mi words. *)
+
+val run_function :
+  ?fuel:int ->
+  ?stack_words:int ->
+  Isa.Binary.t ->
+  fid:int ->
+  args:int list ->
+  input:int array ->
+  result
+(** Call an arbitrary function with the given stack arguments against the
+    binary's initial data image — the entry point used by the IMF-SIM
+    reproduction's in-memory fuzzing. *)

@@ -1,0 +1,212 @@
+(* A random MinC program generator for differential compiler fuzzing.
+
+   Generated programs are well-formed by construction (all variables
+   declared, array indices masked into bounds, loops bounded) and
+   deterministic, so any behavioural difference between the -O0 reference
+   interpretation and an optimized VX binary is a genuine compiler bug.
+   This is the repository's compiler-fuzzing harness, used by
+   [Test_fuzz]. *)
+
+type ctx = {
+  rng : Util.Rng.t;
+  mutable scalars : string list;  (** in-scope scalar variables *)
+  arrays : (string * int) list;  (** global arrays and their sizes *)
+  mutable fresh : int;
+  mutable depth : int;
+  mutable funcs : string list;  (** callable (non-recursive) function names *)
+}
+
+let fresh ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefix ctx.fresh
+
+let pick_scalar ctx =
+  match ctx.scalars with
+  | [] -> "seed"
+  | l -> List.nth l (Util.Rng.int ctx.rng (List.length l))
+
+let pick_array ctx =
+  List.nth ctx.arrays (Util.Rng.int ctx.rng (List.length ctx.arrays))
+
+(* Expressions are pure: calls appear only as dedicated statements, which
+   keeps evaluation-order differences out of the picture. *)
+let rec gen_expr ctx depth : Minic.Ast.expr =
+  let open Minic.Ast in
+  if depth <= 0 then
+    match Util.Rng.int ctx.rng 3 with
+    | 0 -> Int (Util.Rng.int ctx.rng 200 - 100)
+    | 1 -> Var (pick_scalar ctx)
+    | _ ->
+      let name, size = pick_array ctx in
+      (* mask the index into bounds *)
+      Index (name, Binary (Band, gen_expr ctx 0, Int (size - 1)))
+  else begin
+    match Util.Rng.int ctx.rng 10 with
+    | 0 | 1 | 2 ->
+      let op =
+        List.nth
+          [ Add; Sub; Mul; Band; Bor; Bxor ]
+          (Util.Rng.int ctx.rng 6)
+      in
+      Binary (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 3 ->
+      (* division/modulo by a non-zero constant *)
+      let op = if Util.Rng.bool ctx.rng then Div else Mod in
+      Binary
+        (op, gen_expr ctx (depth - 1), Int (1 + Util.Rng.int ctx.rng 15))
+    | 4 ->
+      let op = if Util.Rng.bool ctx.rng then Shl else Shr in
+      Binary (op, gen_expr ctx (depth - 1), Int (Util.Rng.int ctx.rng 8))
+    | 5 ->
+      let op =
+        List.nth [ Lt; Le; Gt; Ge; Eq; Ne ] (Util.Rng.int ctx.rng 6)
+      in
+      Binary (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 6 ->
+      let op = if Util.Rng.bool ctx.rng then Land else Lor in
+      Binary (op, gen_expr ctx (depth - 1), gen_expr ctx (depth - 1))
+    | 7 ->
+      Ternary
+        ( gen_expr ctx (depth - 1),
+          gen_expr ctx (depth - 1),
+          gen_expr ctx (depth - 1) )
+    | 8 -> Unary ((if Util.Rng.bool ctx.rng then Neg else Bnot), gen_expr ctx (depth - 1))
+    | _ -> gen_expr ctx 0
+  end
+
+let rec gen_stmt ctx : Minic.Ast.stmt list =
+  let open Minic.Ast in
+  ctx.depth <- ctx.depth + 1;
+  let result =
+    match Util.Rng.int ctx.rng (if ctx.depth > 3 then 4 else 10) with
+    | 0 ->
+      let v = fresh ctx "v" in
+      let s = [ Decl (v, Some (gen_expr ctx 2)) ] in
+      ctx.scalars <- v :: ctx.scalars;
+      s
+    | 1 -> [ Assign (pick_scalar ctx, gen_expr ctx 2) ]
+    | 2 ->
+      let name, size = pick_array ctx in
+      [
+        Store
+          ( name,
+            Binary (Band, gen_expr ctx 1, Int (size - 1)),
+            gen_expr ctx 2 );
+      ]
+    | 3 -> [ Expr_stmt (Call ("print_int", [ gen_expr ctx 2 ])) ]
+    | 4 ->
+      [ If (gen_expr ctx 2, gen_block ctx, if Util.Rng.bool ctx.rng then gen_block ctx else []) ]
+    | 5 ->
+      (* bounded counted loop, always terminates *)
+      let i = fresh ctx "i" in
+      let bound = 2 + Util.Rng.int ctx.rng 30 in
+      ctx.scalars <- i :: ctx.scalars;
+      let body = gen_block ctx in
+      ctx.scalars <- List.filter (( <> ) i) ctx.scalars;
+      [
+        For
+          ( Some (Decl (i, Some (Int 0))),
+            Some (Binary (Lt, Var i, Int bound)),
+            Some (Assign (i, Binary (Add, Var i, Int 1))),
+            body );
+      ]
+    | 6 ->
+      (* bounded while via a fresh down-counter the body cannot touch *)
+      let body = gen_block ctx in
+      let n = fresh ctx "n" in
+      [
+        Decl (n, Some (Int (1 + Util.Rng.int ctx.rng 12)));
+        While
+          ( Binary (Gt, Var n, Int 0),
+            body @ [ Assign (n, Binary (Sub, Var n, Int 1)) ] );
+      ]
+    | 7 ->
+      let cases =
+        List.init
+          (1 + Util.Rng.int ctx.rng 5)
+          (fun k -> ([ k ], gen_block ctx @ [ Break ]))
+      in
+      [
+        Switch
+          ( Binary (Band, gen_expr ctx 1, Int 7),
+            cases,
+            if Util.Rng.bool ctx.rng then Some (gen_block ctx) else None );
+      ]
+    | 8 when ctx.funcs <> [] ->
+      let f = List.nth ctx.funcs (Util.Rng.int ctx.rng (List.length ctx.funcs)) in
+      let v = fresh ctx "r" in
+      let s =
+        [ Decl (v, Some (Call (f, [ gen_expr ctx 1; gen_expr ctx 1 ]))) ]
+      in
+      ctx.scalars <- v :: ctx.scalars;
+      s
+    | _ -> [ Assign (pick_scalar ctx, gen_expr ctx 3) ]
+  in
+  ctx.depth <- ctx.depth - 1;
+  result
+
+and gen_block ctx : Minic.Ast.stmt list =
+  let saved = ctx.scalars in
+  let n = 1 + Util.Rng.int ctx.rng 4 in
+  let stmts = List.concat (List.init n (fun _ -> gen_stmt ctx)) in
+  ctx.scalars <- saved;
+  stmts
+
+let gen_helper ctx name : Minic.Ast.func =
+  let open Minic.Ast in
+  let saved = ctx.scalars in
+  ctx.scalars <- [ "a"; "b" ];
+  let body = gen_block ctx in
+  let ret = Return (Some (gen_expr ctx 2)) in
+  ctx.scalars <- saved;
+  { fname = name; params = [ "a"; "b" ]; body = body @ [ ret ] }
+
+(* Generate a complete program: two global arrays, a couple of helper
+   functions, and a main that seeds state from input and prints
+   checksums. *)
+let generate seed : Minic.Ast.program =
+  let open Minic.Ast in
+  let rng = Util.Rng.create seed in
+  let arrays = [ ("ga", 32); ("gb", 16) ] in
+  let ctx = { rng; scalars = []; arrays; fresh = 0; depth = 0; funcs = [] } in
+  let h1 = gen_helper ctx "helper1" in
+  ctx.funcs <- [ "helper1" ];
+  let h2 = gen_helper ctx "helper2" in
+  ctx.funcs <- [ "helper1"; "helper2" ];
+  ctx.scalars <- [ "seed"; "acc" ];
+  let body = gen_block ctx @ gen_block ctx in
+  let main =
+    {
+      fname = "main";
+      params = [];
+      body =
+        [
+          Decl ("seed", Some (Call ("input", [ Int 0 ])));
+          Decl ("acc", Some (Int 0));
+        ]
+        @ body
+        @ [
+            For
+              ( Some (Decl ("k", Some (Int 0))),
+                Some (Binary (Lt, Var "k", Int 32)),
+                Some (Assign ("k", Binary (Add, Var "k", Int 1))),
+                [
+                  Assign
+                    ( "acc",
+                      Binary
+                        ( Add,
+                          Binary (Mul, Var "acc", Int 31),
+                          Index ("ga", Var "k") ) );
+                ] );
+            Expr_stmt (Call ("print_int", [ Var "acc" ]));
+            Return (Some (Binary (Band, Var "acc", Int 255)));
+          ];
+    }
+  in
+  let prog =
+    {
+      globals = [ Garr ("ga", 32, []); Garr ("gb", 16, []) ];
+      funcs = [ h1; h2; main ];
+    }
+  in
+  Minic.Sema.link_stdlib prog

@@ -1,0 +1,205 @@
+(* The compiler's central correctness property: every pass pipeline, at
+   every preset, for every architecture, and for random valid flag
+   vectors, preserves each benchmark's observable behaviour (output
+   stream + exit code), as judged by the IR interpreter and the VX VM. *)
+
+let show (out, rv) =
+  Printf.sprintf "%s|%d" (Vir.Interp.output_to_string out) rv
+
+let reference bench =
+  let ast = Corpus.program bench in
+  let ir = Vir.Lower.lower_program ast in
+  List.map
+    (fun input ->
+      let r = Vir.Interp.run ir ~input in
+      show (r.output, r.return_value))
+    bench.Corpus.workloads
+
+let vm_behaviour bin bench =
+  List.map
+    (fun input ->
+      let r = Vm.Machine.run bin ~input in
+      show (r.Vm.Machine.output, r.Vm.Machine.return_value))
+    bench.Corpus.workloads
+
+(* a fast, representative subset for the heavier matrix tests *)
+let fast_benchmarks =
+  [ "429.mcf"; "462.libquantum"; "483.xalancbmk"; "coreutils"; "openssl"; "mirai" ]
+
+let test_presets_preserve_semantics () =
+  List.iter
+    (fun bench ->
+      let want = reference bench in
+      List.iter
+        (fun profile ->
+          List.iter
+            (fun preset ->
+              let bin =
+                Toolchain.Pipeline.compile_preset profile preset
+                  (Corpus.program bench)
+              in
+              Alcotest.(check (list string))
+                (Printf.sprintf "%s %s %s" bench.bname profile.profile_name preset)
+                want (vm_behaviour bin bench))
+            Toolchain.Flags.preset_names)
+        Toolchain.Flags.profiles)
+    (List.map Corpus.find fast_benchmarks)
+
+let test_all_corpus_o3_semantics () =
+  List.iter
+    (fun bench ->
+      let want = reference bench in
+      let bin =
+        Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O3"
+          (Corpus.program bench)
+      in
+      Alcotest.(check (list string)) bench.bname want (vm_behaviour bin bench))
+    Corpus.all
+
+let test_all_arches_semantics () =
+  let bench = Corpus.find "coreutils" in
+  let want = reference bench in
+  List.iter
+    (fun arch ->
+      let bin =
+        Toolchain.Pipeline.compile_preset Toolchain.Flags.llvm ~arch "O2"
+          (Corpus.program bench)
+      in
+      Alcotest.(check (list string))
+        (Isa.Insn.arch_name arch)
+        want (vm_behaviour bin bench))
+    Isa.Insn.all_arches
+
+let test_arch_binaries_differ () =
+  let bench = Corpus.find "openssl" in
+  let texts =
+    List.map
+      (fun arch ->
+        (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc ~arch "O2"
+           (Corpus.program bench))
+          .Isa.Binary.text)
+      Isa.Insn.all_arches
+  in
+  Alcotest.(check int) "four distinct texts" 4
+    (List.length (List.sort_uniq compare texts))
+
+let prop_random_flag_vectors_preserve_semantics =
+  (* the property at the heart of BinTuner: any repaired flag vector
+     compiles to a functionally identical binary *)
+  QCheck.Test.make ~name:"random flag vectors preserve semantics" ~count:40
+    QCheck.(pair small_nat (oneofl fast_benchmarks))
+    (fun (seed, bname) ->
+      let bench = Corpus.find bname in
+      let profile =
+        if seed mod 2 = 0 then Toolchain.Flags.gcc else Toolchain.Flags.llvm
+      in
+      let rng = Util.Rng.create (seed * 31 + 7) in
+      let n = Array.length profile.flags in
+      let v =
+        Toolchain.Constraints.repair profile rng
+          (Array.init n (fun _ -> Util.Rng.bool rng))
+      in
+      let bin = Toolchain.Pipeline.compile_flags profile v (Corpus.program bench) in
+      vm_behaviour bin bench = reference bench)
+
+let test_presets_produce_distinct_binaries () =
+  let bench = Corpus.find "462.libquantum" in
+  let texts =
+    List.map
+      (fun preset ->
+        (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc preset
+           (Corpus.program bench))
+          .Isa.Binary.text)
+      Toolchain.Flags.preset_names
+  in
+  Alcotest.(check int) "five distinct binaries" 5
+    (List.length (List.sort_uniq compare texts))
+
+let test_deterministic_compilation () =
+  let bench = Corpus.find "coreutils" in
+  let compile () =
+    (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O3"
+       (Corpus.program bench))
+      .Isa.Binary.text
+  in
+  Alcotest.(check bool) "bit-identical rebuild" true (compile () = compile ())
+
+let test_obfuscation_preserves_semantics () =
+  List.iter
+    (fun bname ->
+      let bench = Corpus.find bname in
+      let want = reference bench in
+      let cfg =
+        Toolchain.Flags.resolve Toolchain.Flags.llvm
+          Toolchain.Flags.llvm.preset_o1
+      in
+      let ir = Toolchain.Pipeline.apply_passes cfg (Corpus.program bench) in
+      Obf.Ollvm.apply_all ~seed:5 ir;
+      let bin =
+        Codegen.Emit.compile_program ~arch:Isa.Insn.X86_64 ~profile:"llvm-11.0"
+          ~opt_label:"ollvm" ir
+      in
+      Alcotest.(check (list string)) (bname ^ " obfuscated") want
+        (vm_behaviour bin bench))
+    [ "462.libquantum"; "coreutils" ]
+
+let test_obfuscation_changes_structure () =
+  let bench = Corpus.find "coreutils" in
+  let cfg =
+    Toolchain.Flags.resolve Toolchain.Flags.llvm Toolchain.Flags.llvm.preset_o1
+  in
+  let plain_ir = Toolchain.Pipeline.apply_passes cfg (Corpus.program bench) in
+  let obf_ir = Toolchain.Pipeline.apply_passes cfg (Corpus.program bench) in
+  Obf.Ollvm.apply_all ~seed:5 obf_ir;
+  Alcotest.(check bool) "obfuscation grows code" true
+    (Vir.Ir.program_instr_count obf_ir > Vir.Ir.program_instr_count plain_ir)
+
+let test_instrumented_call_graph () =
+  (* -finstrument-functions must leave behaviour intact but reshape the
+     call graph with wrappers *)
+  let bench = Corpus.find "coreutils" in
+  let profile = Toolchain.Flags.gcc in
+  let v = Array.make (Array.length profile.flags) false in
+  v.(Toolchain.Flags.flag_index profile "-finstrument-functions") <- true;
+  let bin = Toolchain.Pipeline.compile_flags profile v (Corpus.program bench) in
+  Alcotest.(check (list string)) "instrumented behaviour" (reference bench)
+    (vm_behaviour bin bench);
+  let c = Diffing.Bcode.analyze bin in
+  Alcotest.(check bool) "wrappers present" true
+    (Array.exists
+       (fun f ->
+         String.length f.Diffing.Bcode.name > 7
+         && String.sub f.Diffing.Bcode.name 0 7 = "__real_")
+       c.funcs)
+
+let test_vm_agrees_with_interp_on_steps_direction () =
+  (* optimization reduces dynamic instruction count on compute kernels *)
+  let bench = Corpus.find "462.libquantum" in
+  let run preset =
+    let bin =
+      Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc preset
+        (Corpus.program bench)
+    in
+    (Vm.Machine.run bin ~input:[| 3 |]).Vm.Machine.steps
+  in
+  Alcotest.(check bool) "O3 faster than O0" true (run "O3" < run "O0")
+
+let tests =
+  [
+    Alcotest.test_case "presets preserve semantics" `Slow
+      test_presets_preserve_semantics;
+    Alcotest.test_case "all corpus at O3" `Slow test_all_corpus_o3_semantics;
+    Alcotest.test_case "all arches" `Quick test_all_arches_semantics;
+    Alcotest.test_case "arch binaries differ" `Quick test_arch_binaries_differ;
+    QCheck_alcotest.to_alcotest prop_random_flag_vectors_preserve_semantics;
+    Alcotest.test_case "presets distinct" `Quick
+      test_presets_produce_distinct_binaries;
+    Alcotest.test_case "deterministic" `Quick test_deterministic_compilation;
+    Alcotest.test_case "obfuscation semantics" `Quick
+      test_obfuscation_preserves_semantics;
+    Alcotest.test_case "obfuscation structure" `Quick
+      test_obfuscation_changes_structure;
+    Alcotest.test_case "instrumentation" `Quick test_instrumented_call_graph;
+    Alcotest.test_case "optimization speeds up" `Quick
+      test_vm_agrees_with_interp_on_steps_direction;
+  ]

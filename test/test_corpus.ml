@@ -1,0 +1,96 @@
+(* Corpus invariants: the dataset substitute has to be a usable dataset.
+   Programs must parse/check, run deterministically under the reference
+   interpreter within a sane instruction budget, actually depend on their
+   inputs, and differ from one another. *)
+
+let test_all_programs_check () =
+  List.iter (fun b -> ignore (Corpus.program b)) Corpus.all
+
+let run_ir b input =
+  let ir = Vir.Lower.lower_program (Corpus.program b) in
+  Vir.Interp.run ~fuel:60_000_000 ir ~input
+
+let test_workloads_terminate_and_output () =
+  List.iter
+    (fun b ->
+      List.iter
+        (fun input ->
+          let r = run_ir b input in
+          Alcotest.(check bool)
+            (b.Corpus.bname ^ " produces output")
+            true
+            (r.output <> []))
+        b.Corpus.workloads)
+    Corpus.all
+
+let test_inputs_matter () =
+  (* the workloads must drive different executions: different outputs, or
+     at least different dynamic instruction counts (a coarse final
+     summary — e.g. leela's win count out of 40 playouts — may coincide
+     across seeds even though the computation differs) *)
+  List.iter
+    (fun b ->
+      let runs =
+        List.map
+          (fun input ->
+            let r = run_ir b input in
+            (Vir.Interp.output_to_string r.output, r.steps))
+          b.Corpus.workloads
+      in
+      let distinct l = List.length (List.sort_uniq compare l) >= 2 in
+      Alcotest.(check bool)
+        (b.Corpus.bname ^ " input-sensitive")
+        true
+        (distinct (List.map fst runs) || distinct (List.map snd runs)))
+    Corpus.all
+
+let test_deterministic () =
+  List.iter
+    (fun name ->
+      let b = Corpus.find name in
+      let once () = Vir.Interp.output_to_string (run_ir b [| 3 |]).output in
+      Alcotest.(check string) (name ^ " deterministic") (once ()) (once ()))
+    [ "445.gobmk"; "620.omnetpp_s"; "641.leela_s"; "mirai" ]
+
+let test_programs_differ () =
+  (* every pair of programs must produce different binaries at -O2 *)
+  let texts =
+    List.map
+      (fun b ->
+        (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2"
+           (Corpus.program b))
+          .Isa.Binary.text)
+      Corpus.all
+  in
+  Alcotest.(check int) "all binaries distinct"
+    (List.length Corpus.all)
+    (List.length (List.sort_uniq compare texts))
+
+let test_suites_populated () =
+  let count s = List.length (List.filter (fun b -> b.Corpus.suite = s) Corpus.all) in
+  Alcotest.(check int) "SPEC2006 programs" 10 (count Corpus.Spec2006);
+  Alcotest.(check int) "SPEC2017 programs" 9 (count Corpus.Spec2017);
+  Alcotest.(check int) "botnet programs" 3 (count Corpus.Botnet);
+  Alcotest.(check int) "evaluation set" 21 (List.length Corpus.evaluation_set)
+
+let test_optimization_matters_everywhere () =
+  (* O3 must change every program's binary w.r.t. O0 — otherwise a
+     benchmark contributes nothing to the study *)
+  List.iter
+    (fun b ->
+      let p = Corpus.program b in
+      let o0 = (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O0" p).Isa.Binary.text in
+      let o3 = (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O3" p).Isa.Binary.text in
+      Alcotest.(check bool) (b.Corpus.bname ^ " optimizable") true (o0 <> o3))
+    Corpus.all
+
+let tests =
+  [
+    Alcotest.test_case "programs check" `Quick test_all_programs_check;
+    Alcotest.test_case "workloads terminate" `Slow test_workloads_terminate_and_output;
+    Alcotest.test_case "inputs matter" `Slow test_inputs_matter;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "programs differ" `Quick test_programs_differ;
+    Alcotest.test_case "suites populated" `Quick test_suites_populated;
+    Alcotest.test_case "optimization matters" `Slow test_optimization_matters_everywhere;
+  ]

@@ -1,0 +1,94 @@
+(* Differential compiler fuzzing: random well-formed MinC programs must
+   behave identically under the -O0 reference interpreter and under every
+   optimization configuration on the VX virtual machine. *)
+
+let behaviour_ir ir input =
+  let r = Vir.Interp.run ~fuel:3_000_000 ir ~input in
+  Printf.sprintf "%s|%d" (Vir.Interp.output_to_string r.output) r.return_value
+
+let behaviour_vm bin input =
+  let r = Vm.Machine.run ~fuel:6_000_000 bin ~input in
+  Printf.sprintf "%s|%d"
+    (Vir.Interp.output_to_string r.Vm.Machine.output)
+    r.Vm.Machine.return_value
+
+let inputs = [ [| 0 |]; [| 5 |]; [| 123 |] ]
+
+let check_seed ~preset ~profile seed =
+  let prog = Fuzzgen.generate seed in
+  Minic.Sema.check prog;
+  let ir = Vir.Lower.lower_program prog in
+  match List.map (behaviour_ir ir) inputs with
+  | exception Vir.Interp.Out_of_fuel -> true (* pathological runtime: skip *)
+  | reference ->
+    let bin = Toolchain.Pipeline.compile_preset profile preset prog in
+    List.map (behaviour_vm bin) inputs = reference
+
+let test_fuzz_presets () =
+  (* a fixed sweep across seeds, presets and profiles *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (profile, preset) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "seed %d %s %s" seed
+               profile.Toolchain.Flags.profile_name preset)
+            true
+            (check_seed ~preset ~profile seed))
+        [
+          (Toolchain.Flags.gcc, "O0");
+          (Toolchain.Flags.gcc, "O2");
+          (Toolchain.Flags.gcc, "O3");
+          (Toolchain.Flags.llvm, "O3");
+          (Toolchain.Flags.gcc, "Os");
+        ])
+    (List.init 12 (fun i -> i * 37 + 1))
+
+let prop_fuzz_random_flags =
+  QCheck.Test.make ~name:"fuzzed programs under random flag vectors" ~count:25
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, vseed) ->
+      let prog = Fuzzgen.generate (seed + 1000) in
+      let ir = Vir.Lower.lower_program prog in
+      match List.map (behaviour_ir ir) inputs with
+      | exception Vir.Interp.Out_of_fuel -> true
+      | reference ->
+        let profile =
+          if vseed mod 2 = 0 then Toolchain.Flags.gcc else Toolchain.Flags.llvm
+        in
+        let rng = Util.Rng.create (vseed * 13 + 5) in
+        let n = Array.length profile.flags in
+        let v =
+          Toolchain.Constraints.repair profile rng
+            (Array.init n (fun _ -> Util.Rng.bool rng))
+        in
+        let bin = Toolchain.Pipeline.compile_flags profile v prog in
+        List.map (behaviour_vm bin) inputs = reference)
+
+let test_fuzz_all_arches () =
+  List.iter
+    (fun seed ->
+      let prog = Fuzzgen.generate seed in
+      let ir = Vir.Lower.lower_program prog in
+      match List.map (behaviour_ir ir) inputs with
+      | exception Vir.Interp.Out_of_fuel -> ()
+      | reference ->
+        List.iter
+          (fun arch ->
+            let bin =
+              Toolchain.Pipeline.compile_preset Toolchain.Flags.llvm ~arch "O2"
+                prog
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "seed %d %s" seed (Isa.Insn.arch_name arch))
+              reference
+              (List.map (behaviour_vm bin) inputs))
+          Isa.Insn.all_arches)
+    [ 2026; 7777; 31415 ]
+
+let tests =
+  [
+    Alcotest.test_case "fuzz presets" `Slow test_fuzz_presets;
+    QCheck_alcotest.to_alcotest prop_fuzz_random_flags;
+    Alcotest.test_case "fuzz all arches" `Quick test_fuzz_all_arches;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "bintuner"
+    [
+      ("util", Test_util.tests);
+      ("sat", Test_sat.tests);
+      ("compress", Test_compress.tests);
+      ("minic", Test_minic.tests);
+      ("isa", Test_isa.tests);
+      ("passes", Test_passes.tests);
+      ("compiler", Test_compiler.tests);
+      ("diffing", Test_diffing.tests);
+      ("tuner", Test_tuner.tests);
+      ("fuzz", Test_fuzz.tests);
+      ("flags", Test_flags.tests);
+      ("vm", Test_vm.tests);
+      ("obf", Test_obf.tests);
+      ("corpus", Test_corpus.tests);
+    ]

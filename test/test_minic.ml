@@ -1,0 +1,171 @@
+(* Frontend tests: lexer, parser, semantic checks. *)
+
+open Minic
+
+let parse_expr_string s = Ast.expr_to_string (Parser.parse_expr s)
+
+let test_lexer_tokens () =
+  let toks = List.map fst (Lexer.tokenize "x += 0x1F << 2; // comment") in
+  Alcotest.(check int) "token count" 7 (List.length toks);
+  match toks with
+  | [ IDENT "x"; PLUS_ASSIGN; INT 31; SHL; INT 2; SEMI; EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_char_literals () =
+  match List.map fst (Lexer.tokenize "'a' '\\n' '\\''") with
+  | [ INT 97; INT 10; INT 39; EOF ] -> ()
+  | _ -> Alcotest.fail "char literals"
+
+let test_lexer_string () =
+  match List.map fst (Lexer.tokenize "\"hi\\n\"") with
+  | [ STRING "hi\n"; EOF ] -> ()
+  | _ -> Alcotest.fail "string literal"
+
+let test_lexer_block_comment () =
+  match List.map fst (Lexer.tokenize "a /* b \n c */ d") with
+  | [ IDENT "a"; IDENT "d"; EOF ] -> ()
+  | _ -> Alcotest.fail "block comment"
+
+let test_lexer_errors () =
+  Alcotest.check_raises "unterminated comment"
+    (Lexer.Error ("unterminated comment", 1))
+    (fun () -> ignore (Lexer.tokenize "/* oops"));
+  Alcotest.check_raises "bad char"
+    (Lexer.Error ("unexpected character '@'", 1))
+    (fun () -> ignore (Lexer.tokenize "@"))
+
+let test_expr_precedence () =
+  Alcotest.(check string) "mul binds tighter" "(1 + (2 * 3))"
+    (parse_expr_string "1 + 2 * 3");
+  Alcotest.(check string) "shift vs compare" "((1 << 2) < 9)"
+    (parse_expr_string "1 << 2 < 9");
+  Alcotest.(check string) "and/or" "((a && b) || c)"
+    (parse_expr_string "a && b || c");
+  Alcotest.(check string) "ternary" "(a ? b : (c ? d : e))"
+    (parse_expr_string "a ? b : c ? d : e");
+  Alcotest.(check string) "unary minus" "(-3 + x)" (parse_expr_string "-3 + x")
+
+let test_parse_program_shapes () =
+  let p =
+    Parser.parse
+      {|
+      int g = 4;
+      int arr[3] = {1, 2};
+      int msg[] = "ab";
+      int f(int a, int b) { return a + b; }
+      int main() {
+        int x = f(g, 2);
+        for (int i = 0; i < 3; i++) { x += arr[i]; }
+        do { x--; } while (x > 10);
+        switch (x) { case 1: case 2: break; default: x = 0; }
+        return x;
+      }
+      |}
+  in
+  Alcotest.(check int) "globals" 3 (List.length p.Ast.globals);
+  Alcotest.(check int) "funcs" 2 (List.length p.Ast.funcs);
+  match p.Ast.globals with
+  | [ Ast.Gvar ("g", 4); Ast.Garr ("arr", 3, [ 1; 2 ]); Ast.Garr ("msg", 3, [ 97; 98; 0 ]) ]
+    -> ()
+  | _ -> Alcotest.fail "global shapes"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> ()
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ src)
+  in
+  expect_error "int f( { }";
+  expect_error "int f() { return; ";
+  expect_error "int f() { x = ; }";
+  expect_error "int a[] ;"
+
+let test_sema_accepts_corpus () =
+  List.iter
+    (fun b -> ignore (Corpus.program b))
+    Corpus.all
+
+let expect_sema_error src =
+  match Sema.analyze src with
+  | exception Sema.Error _ -> ()
+  | _ -> Alcotest.fail "sema should reject"
+
+let test_sema_rejects () =
+  expect_sema_error "int main() { return y; }";
+  expect_sema_error "int main() { int x; x[0] = 1; }";
+  expect_sema_error "int a[2]; int main() { a = 1; }";
+  expect_sema_error "int f(int x) { return x; } int main() { return f(); }";
+  expect_sema_error "int main() { break; }";
+  expect_sema_error "int f() { return 0; }";
+  (* no main *)
+  expect_sema_error "int main(int x) { return x; }";
+  expect_sema_error "int main() { return 0; } int main() { return 1; }";
+  expect_sema_error
+    "int main() { switch (1) { case 1: break; case 1: break; } return 0; }"
+
+let test_stdlib_linked () =
+  let p = Sema.analyze "int main() { return strlen(0); }" in
+  Alcotest.(check bool) "strlen present" true
+    (List.exists (fun f -> f.Ast.fname = "strlen") p.Ast.funcs);
+  Alcotest.(check bool) "__mem present" true
+    (List.exists
+       (function Ast.Garr ("__mem", _, _) -> true | _ -> false)
+       p.Ast.globals)
+
+let test_stdlib_not_duplicated () =
+  let p = Sema.analyze "int strlen(int x) { return x; } int main() { return strlen(3); }" in
+  let count =
+    List.length (List.filter (fun f -> f.Ast.fname = "strlen") p.Ast.funcs)
+  in
+  Alcotest.(check int) "user strlen wins" 1 count
+
+let test_ast_size_measures () =
+  let p = Sema.analyze "int main() { int x = 1 + 2; return x; }" in
+  Alcotest.(check bool) "program size positive" true (Ast.program_size p > 0)
+
+let prop_expr_roundtrip_parse =
+  (* printing then reparsing a random expression yields the same tree *)
+  let rec gen_expr depth =
+    let open QCheck.Gen in
+    if depth = 0 then
+      oneof [ map (fun n -> Ast.Int n) (0 -- 100); return (Ast.Var "x") ]
+    else
+      frequency
+        [
+          (2, map (fun n -> Ast.Int n) (0 -- 100));
+          (2, return (Ast.Var "x"));
+          ( 3,
+            map2
+              (fun op (a, b) -> Ast.Binary (op, a, b))
+              (oneofl Ast.[ Add; Sub; Mul; Div; Band; Shl; Lt; Eq; Land ])
+              (pair (gen_expr (depth - 1)) (gen_expr (depth - 1))) );
+          (1, map (fun a -> Ast.Unary (Ast.Bnot, a)) (gen_expr (depth - 1)));
+        ]
+  in
+  QCheck.Test.make ~name:"expr print/parse roundtrip" ~count:200
+    (QCheck.make (gen_expr 4))
+    (fun e ->
+      let printed = Ast.expr_to_string e in
+      let reparsed = Parser.parse_expr printed in
+      (* negative literal folding means Int (-n) can reparse as Unary;
+         compare printed forms instead *)
+      Ast.expr_to_string reparsed = printed)
+
+let tests =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "char literals" `Quick test_lexer_char_literals;
+    Alcotest.test_case "string literal" `Quick test_lexer_string;
+    Alcotest.test_case "block comment" `Quick test_lexer_block_comment;
+    Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+    Alcotest.test_case "precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "program shapes" `Quick test_parse_program_shapes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "sema accepts corpus" `Quick test_sema_accepts_corpus;
+    Alcotest.test_case "sema rejects" `Quick test_sema_rejects;
+    Alcotest.test_case "stdlib linked" `Quick test_stdlib_linked;
+    Alcotest.test_case "stdlib not duplicated" `Quick test_stdlib_not_duplicated;
+    Alcotest.test_case "ast sizes" `Quick test_ast_size_measures;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip_parse;
+  ]

@@ -1,0 +1,137 @@
+(* Tests for the DPLL solver and the flag-constraint layer. *)
+
+open Sat.Dpll
+
+let test_trivial_sat () =
+  match solve [ [ Pos 0 ] ] with
+  | Sat a -> Alcotest.(check bool) "x0 true" true a.(0)
+  | Unsat -> Alcotest.fail "expected sat"
+
+let test_trivial_unsat () =
+  match solve [ [ Pos 0 ]; [ Neg 0 ] ] with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "expected unsat"
+
+let test_implication_chain () =
+  (* x0 → x1 → x2 → x3, x0 asserted *)
+  let cnf = [ [ Pos 0 ]; [ Neg 0; Pos 1 ]; [ Neg 1; Pos 2 ]; [ Neg 2; Pos 3 ] ] in
+  match solve cnf with
+  | Sat a ->
+    Alcotest.(check bool) "x3 forced" true a.(3)
+  | Unsat -> Alcotest.fail "expected sat"
+
+let test_3sat_backtracking () =
+  (* needs a decision and a backtrack *)
+  let cnf =
+    [ [ Pos 0; Pos 1 ]; [ Neg 0; Pos 2 ]; [ Neg 1; Neg 2 ]; [ Pos 2; Pos 1 ] ]
+  in
+  match solve cnf with
+  | Sat a -> Alcotest.(check bool) "assignment satisfies" true (eval a cnf)
+  | Unsat -> Alcotest.fail "expected sat"
+
+let test_assumptions () =
+  let cnf = [ [ Neg 0; Pos 1 ] ] in
+  (match solve_with_assumptions cnf [ Pos 0; Neg 1 ] with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "x0 ∧ ¬x1 violates x0→x1");
+  match solve_with_assumptions cnf [ Pos 0; Pos 1 ] with
+  | Sat _ -> ()
+  | Unsat -> Alcotest.fail "x0 ∧ x1 is fine"
+
+let test_pigeonhole_2_1 () =
+  (* two pigeons, one hole: p0h0, p1h0, ¬(p0h0 ∧ p1h0) *)
+  match solve [ [ Pos 0 ]; [ Pos 1 ]; [ Neg 0; Neg 1 ] ] with
+  | Unsat -> ()
+  | Sat _ -> Alcotest.fail "expected unsat"
+
+let prop_random_cnf_sound =
+  (* whenever the solver says Sat, the assignment really satisfies *)
+  let gen =
+    QCheck.Gen.(
+      list_size (1 -- 12)
+        (list_size (1 -- 3)
+           (map2 (fun v b -> if b then Pos v else Neg v) (0 -- 7) bool)))
+  in
+  QCheck.Test.make ~name:"dpll soundness" ~count:300
+    (QCheck.make gen)
+    (fun cnf ->
+      let cnf = List.filter (fun c -> c <> []) cnf in
+      match solve ~nvars:8 cnf with
+      | Sat a -> eval a cnf
+      | Unsat ->
+        (* cross-check with brute force over 8 variables *)
+        let rec any_assignment i a =
+          if i = 8 then eval a cnf
+          else begin
+            a.(i) <- false;
+            if any_assignment (i + 1) a then true
+            else begin
+              a.(i) <- true;
+              any_assignment (i + 1) a
+            end
+          end
+        in
+        not (any_assignment 0 (Array.make 8 false)))
+
+(* --- flag constraints --- *)
+
+let test_presets_valid () =
+  List.iter
+    (fun p ->
+      List.iter
+        (fun name ->
+          match Toolchain.Flags.preset p name with
+          | Some v ->
+            (* O3 presets may deliberately violate a pairwise conflict
+               (unroll-and-jam vs distribute, as in real GCC's pass
+               interactions); repair must still terminate on them *)
+            let rng = Util.Rng.create 3 in
+            let v' = Toolchain.Constraints.repair p rng v in
+            Alcotest.(check bool)
+              (p.profile_name ^ " " ^ name ^ " repairable")
+              true
+              (Toolchain.Constraints.valid p v')
+          | None -> Alcotest.fail "missing preset")
+        [ "O1"; "O2"; "Os" ])
+    Toolchain.Flags.profiles
+
+let test_violation_detection () =
+  let p = Toolchain.Flags.gcc in
+  let v = Array.make (Array.length p.flags) false in
+  v.(Toolchain.Flags.flag_index p "-mstackrealign") <- true;
+  v.(Toolchain.Flags.flag_index p "-fomit-frame-pointer") <- true;
+  Alcotest.(check bool) "conflict detected" false (Toolchain.Constraints.valid p v);
+  Alcotest.(check bool) "violations nonempty" true
+    (Toolchain.Constraints.violations p v <> [])
+
+let test_requires_detection () =
+  let p = Toolchain.Flags.gcc in
+  let v = Array.make (Array.length p.flags) false in
+  v.(Toolchain.Flags.flag_index p "-fpartial-inlining") <- true;
+  Alcotest.(check bool) "dependency violated" false
+    (Toolchain.Constraints.valid p v)
+
+let prop_repair_always_valid =
+  QCheck.Test.make ~name:"repair yields valid vectors" ~count:100
+    QCheck.(pair small_nat (list_of_size (QCheck.Gen.return 44) bool))
+    (fun (seed, bits) ->
+      let p = Toolchain.Flags.gcc in
+      let n = Array.length p.flags in
+      let v = Array.init n (fun i -> try List.nth bits i with _ -> false) in
+      let rng = Util.Rng.create seed in
+      Toolchain.Constraints.valid p (Toolchain.Constraints.repair p rng v))
+
+let tests =
+  [
+    Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "implication chain" `Quick test_implication_chain;
+    Alcotest.test_case "3sat backtracking" `Quick test_3sat_backtracking;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "pigeonhole" `Quick test_pigeonhole_2_1;
+    QCheck_alcotest.to_alcotest prop_random_cnf_sound;
+    Alcotest.test_case "presets repairable" `Quick test_presets_valid;
+    Alcotest.test_case "conflict detection" `Quick test_violation_detection;
+    Alcotest.test_case "requires detection" `Quick test_requires_detection;
+    QCheck_alcotest.to_alcotest prop_repair_always_valid;
+  ]

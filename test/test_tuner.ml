@@ -1,0 +1,276 @@
+(* Tests for the search stack: GA engine, the BinTuner loop, the AV
+   fleet, the provenance classifier, and the NCD fitness. *)
+
+let quick_term =
+  { Ga.Genetic.max_evaluations = 120; plateau_window = 60; plateau_epsilon = 0.0035 }
+
+(* --- genetic algorithm on a known landscape --- *)
+
+let test_ga_onemax () =
+  (* fitness = number of set bits; the GA must get close to all-ones *)
+  let rng = Util.Rng.create 7 in
+  let outcome =
+    Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params
+      ~termination:
+        { Ga.Genetic.max_evaluations = 600; plateau_window = 200; plateau_epsilon = 0.001 }
+      ~ngenes:24 ~seeds:[] ~repair:(fun g -> g)
+      ~fitness:(fun g ->
+        float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g))
+  in
+  Alcotest.(check bool) "near optimum" true (outcome.best_fitness >= 22.0)
+
+let test_ga_respects_repair () =
+  (* repair forces gene 0 off; the best genome must respect that *)
+  let rng = Util.Rng.create 9 in
+  let outcome =
+    Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params ~termination:quick_term
+      ~ngenes:8 ~seeds:[]
+      ~repair:(fun g ->
+        g.(0) <- false;
+        g)
+      ~fitness:(fun g -> if g.(0) then 100.0 else 1.0)
+  in
+  Alcotest.(check bool) "gene 0 forced off" false outcome.best.(0)
+
+let test_ga_deterministic () =
+  let run seed =
+    let rng = Util.Rng.create seed in
+    (Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params ~termination:quick_term
+       ~ngenes:16 ~seeds:[] ~repair:(fun g -> g)
+       ~fitness:(fun g ->
+         float_of_int (Hashtbl.hash (Array.to_list g) mod 1000)))
+      .best_fitness
+  in
+  Alcotest.(check (float 1e-9)) "same seed same outcome" (run 3) (run 3)
+
+let test_ga_history_monotone () =
+  let rng = Util.Rng.create 11 in
+  let outcome =
+    Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params ~termination:quick_term
+      ~ngenes:12 ~seeds:[] ~repair:(fun g -> g)
+      ~fitness:(fun g ->
+        float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g))
+  in
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "best-so-far is monotone" true (monotone outcome.history)
+
+let test_strategies_on_onemax () =
+  (* both alternative strategies must also solve an easy landscape *)
+  let fitness g =
+    float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g)
+  in
+  let run f =
+    let rng = Util.Rng.create 21 in
+    (f ~rng ~max_evaluations:500 ~ngenes:16 ~seeds:[] ~repair:(fun g -> g)
+       ~fitness)
+      .Ga.Genetic.best_fitness
+  in
+  Alcotest.(check bool) "hill climb solves onemax" true
+    (run Ga.Strategies.hill_climb >= 15.0);
+  Alcotest.(check bool) "anneal near optimum" true
+    (run Ga.Strategies.anneal >= 13.0)
+
+let test_strategies_respect_budget () =
+  let count = ref 0 in
+  let fitness g =
+    incr count;
+    float_of_int (Hashtbl.hash (Array.to_list g) mod 100)
+  in
+  let rng = Util.Rng.create 4 in
+  let o =
+    Ga.Strategies.anneal ~rng ~max_evaluations:50 ~ngenes:10 ~seeds:[]
+      ~repair:(fun g -> g) ~fitness
+  in
+  Alcotest.(check bool) "budget respected" true
+    (o.Ga.Genetic.evaluations <= 50 && !count <= 50)
+
+(* --- the tuner --- *)
+
+let tuned =
+  lazy
+    (Bintuner.Tuner.tune ~termination:quick_term ~profile:Toolchain.Flags.llvm
+       (Corpus.find "462.libquantum"))
+
+let test_tuner_beats_presets_on_fitness () =
+  let r = Lazy.force tuned in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) ("fitness >= " ^ name) true (r.best_ncd >= v -. 1e-9))
+    r.preset_ncd
+
+let test_tuner_functional () =
+  let r = Lazy.force tuned in
+  Alcotest.(check bool) "tuned binary passes workloads" true r.functional_ok
+
+let test_tuner_database () =
+  let r = Lazy.force tuned in
+  Alcotest.(check int) "database records every compilation" r.iterations
+    (List.length r.database);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "fitness in range" true
+        (e.Bintuner.Tuner.ncd >= 0.0 && e.ncd <= 1.2))
+    r.database
+
+let test_tuner_vector_valid () =
+  let r = Lazy.force tuned in
+  Alcotest.(check bool) "best vector satisfies constraints" true
+    (Toolchain.Constraints.valid Toolchain.Flags.llvm r.best_vector)
+
+let test_fitness_properties () =
+  let prog = Corpus.program (Corpus.find "429.mcf") in
+  let gcc = Toolchain.Flags.gcc in
+  let o0 = Toolchain.Pipeline.compile_preset gcc "O0" prog in
+  let o3 = Toolchain.Pipeline.compile_preset gcc "O3" prog in
+  Alcotest.(check bool) "self fitness small" true
+    (Bintuner.Tuner.fitness_of_binaries o0 o0 < 0.15);
+  Alcotest.(check bool) "cross fitness larger" true
+    (Bintuner.Tuner.fitness_of_binaries o3 o0
+    > Bintuner.Tuner.fitness_of_binaries o0 o0)
+
+(* --- iteration database --- *)
+
+let test_database_roundtrip () =
+  let r = Lazy.force tuned in
+  let run = Bintuner.Database.of_result r Toolchain.Flags.llvm in
+  let path = Filename.temp_file "bintuner" ".db" in
+  Bintuner.Database.save path [ run; run ];
+  let loaded = Bintuner.Database.load path in
+  Sys.remove path;
+  Alcotest.(check int) "two runs" 2 (List.length loaded);
+  let l = List.hd loaded in
+  Alcotest.(check string) "benchmark" run.benchmark l.Bintuner.Database.benchmark;
+  Alcotest.(check int) "entries survive" (List.length run.entries)
+    (List.length l.entries);
+  Alcotest.(check bool) "best survives" true (l.best = run.best)
+
+let test_database_flag_frequency () =
+  let r = Lazy.force tuned in
+  let run = Bintuner.Database.of_result r Toolchain.Flags.llvm in
+  let freqs = Bintuner.Database.flag_frequency run in
+  Alcotest.(check int) "one entry per flag"
+    (Array.length Toolchain.Flags.llvm.flags)
+    (List.length freqs);
+  List.iter
+    (fun (_, f) ->
+      Alcotest.(check bool) "frequency in [0,1]" true (f >= 0.0 && f <= 1.0))
+    freqs;
+  (* frequencies are sorted descending *)
+  let rec sorted = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted freqs)
+
+(* --- AV fleet --- *)
+
+let goodware =
+  lazy
+    (List.map
+       (fun n ->
+         Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2"
+           (Corpus.program (Corpus.find n)))
+       [ "429.mcf"; "coreutils"; "620.omnetpp_s"; "openssl" ])
+
+let test_av_detects_training_sample () =
+  let prog = Corpus.program (Corpus.find "lightaidra") in
+  let bin = Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2" prog in
+  let fleet = Av.Scanner.train ~goodware:(Lazy.force goodware) ~seed:3 bin in
+  Alcotest.(check int) "all scanners flag the sample" Av.Scanner.fleet_size
+    (Av.Scanner.detections fleet bin)
+
+let test_av_benign_program_clean () =
+  let mal = Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2"
+      (Corpus.program (Corpus.find "lightaidra"))
+  in
+  let fleet = Av.Scanner.train ~goodware:(Lazy.force goodware) ~seed:3 mal in
+  let benign =
+    Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2"
+      (Corpus.program (Corpus.find "605.mcf_s"))
+  in
+  Alcotest.(check bool) "unrelated program mostly clean" true
+    (Av.Scanner.detections fleet benign <= 8)
+
+let test_av_o3_mostly_detected () =
+  let prog = Corpus.program (Corpus.find "bashlife") in
+  let o2 = Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2" prog in
+  let o3 = Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O3" prog in
+  let fleet = Av.Scanner.train ~goodware:(Lazy.force goodware) ~seed:3 o2 in
+  let d = Av.Scanner.detections fleet o3 in
+  Alcotest.(check bool) "O3 detection near default" true
+    (d >= Av.Scanner.fleet_size * 2 / 3)
+
+let test_av_data_signatures_survive () =
+  let prog = Corpus.program (Corpus.find "mirai") in
+  let o2 = Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2" prog in
+  let os = Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "Os" prog in
+  let fleet = Av.Scanner.train ~goodware:(Lazy.force goodware) ~seed:3 o2 in
+  let _, data, _ = Av.Scanner.detections_by_class fleet os in
+  Alcotest.(check bool) "data scanners unaffected by recompilation" true
+    (data >= 10)
+
+(* --- provenance --- *)
+
+let test_provenance_classifies_presets () =
+  let gcc = Toolchain.Flags.gcc in
+  (* at least two programs per label, so the rejection threshold reflects
+     genuine in-class variance *)
+  let training =
+    List.concat_map
+      (fun name ->
+        let p = Corpus.program (Corpus.find name) in
+        List.map
+          (fun preset ->
+            ( { Provenance.Classify.profile = "gcc-10.2"; preset },
+              Toolchain.Pipeline.compile_preset gcc preset p ))
+          Toolchain.Flags.preset_names)
+      [ "coreutils"; "429.mcf"; "lightaidra" ]
+  in
+  let model = Provenance.Classify.train training in
+  (* presets of a different program should classify to the right level *)
+  let test_prog = Corpus.program (Corpus.find "openssl") in
+  let hits =
+    List.length
+      (List.filter
+         (fun preset ->
+           let bin = Toolchain.Pipeline.compile_preset gcc preset test_prog in
+           let lbl, _ = Provenance.Classify.classify model bin in
+           lbl.preset = preset)
+         [ "O0"; "O3" ])
+  in
+  Alcotest.(check bool) "O0/O3 recognized across programs" true (hits >= 1)
+
+let test_provenance_feature_shape () =
+  let bin =
+    Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O2"
+      (Corpus.program (Corpus.find "429.mcf"))
+  in
+  let f = Provenance.Classify.features bin in
+  Alcotest.(check bool) "normalized features" true
+    (Array.for_all (fun x -> x >= 0.0 && x <= 1.0) f)
+
+let tests =
+  [
+    Alcotest.test_case "ga onemax" `Quick test_ga_onemax;
+    Alcotest.test_case "ga repair" `Quick test_ga_respects_repair;
+    Alcotest.test_case "ga deterministic" `Quick test_ga_deterministic;
+    Alcotest.test_case "ga history monotone" `Quick test_ga_history_monotone;
+    Alcotest.test_case "strategies onemax" `Quick test_strategies_on_onemax;
+    Alcotest.test_case "strategies budget" `Quick test_strategies_respect_budget;
+    Alcotest.test_case "tuner beats presets" `Slow test_tuner_beats_presets_on_fitness;
+    Alcotest.test_case "tuner functional" `Slow test_tuner_functional;
+    Alcotest.test_case "tuner database" `Slow test_tuner_database;
+    Alcotest.test_case "tuner vector valid" `Slow test_tuner_vector_valid;
+    Alcotest.test_case "fitness properties" `Quick test_fitness_properties;
+    Alcotest.test_case "database roundtrip" `Slow test_database_roundtrip;
+    Alcotest.test_case "database frequency" `Slow test_database_flag_frequency;
+    Alcotest.test_case "av training sample" `Quick test_av_detects_training_sample;
+    Alcotest.test_case "av benign clean" `Quick test_av_benign_program_clean;
+    Alcotest.test_case "av O3 detected" `Quick test_av_o3_mostly_detected;
+    Alcotest.test_case "av data signatures" `Quick test_av_data_signatures_survive;
+    Alcotest.test_case "provenance presets" `Quick test_provenance_classifies_presets;
+    Alcotest.test_case "provenance features" `Quick test_provenance_feature_shape;
+  ]

@@ -1,0 +1,107 @@
+(* Unit + property tests for the util library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_determinism () =
+  let a = Util.Rng.create 42 and b = Util.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Rng.int64 a) (Util.Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Util.Rng.create 1 and b = Util.Rng.create 2 in
+  let xs = List.init 8 (fun _ -> Util.Rng.int64 a) in
+  let ys = List.init 8 (fun _ -> Util.Rng.int64 b) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_split_independent () =
+  let a = Util.Rng.create 7 in
+  let b = Util.Rng.split a in
+  let xs = List.init 8 (fun _ -> Util.Rng.int64 a) in
+  let ys = List.init 8 (fun _ -> Util.Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_rng_copy () =
+  let a = Util.Rng.create 9 in
+  ignore (Util.Rng.int64 a);
+  let b = Util.Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Util.Rng.int64 a)
+    (Util.Rng.int64 b)
+
+let test_mean_median () =
+  check_float "mean" 2.5 (Util.Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median even" 2.5 (Util.Stats.median [ 1.0; 2.0; 3.0; 4.0 ]);
+  check_float "median odd" 3.0 (Util.Stats.median [ 5.0; 1.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Util.Stats.mean [])
+
+let test_min_max_median () =
+  let mn, mx, md = Util.Stats.min_max_median [ 3.0; 1.0; 7.0; 5.0 ] in
+  check_float "min" 1.0 mn;
+  check_float "max" 7.0 mx;
+  check_float "median" 4.0 md
+
+let test_pearson () =
+  check_float "perfect" 1.0
+    (Util.Stats.pearson [ 1.0; 2.0; 3.0 ] [ 10.0; 20.0; 30.0 ]);
+  check_float "inverse" (-1.0)
+    (Util.Stats.pearson [ 1.0; 2.0; 3.0 ] [ 3.0; 2.0; 1.0 ]);
+  check_float "constant" 0.0 (Util.Stats.pearson [ 1.0; 1.0 ] [ 2.0; 3.0 ])
+
+let test_jaccard () =
+  check_float "overlap" 0.5 (Util.Stats.jaccard compare [ 1; 2; 3 ] [ 2; 3; 4 ]);
+  check_float "empty" 1.0 (Util.Stats.jaccard compare ([] : int list) []);
+  check_float "disjoint" 0.0 (Util.Stats.jaccard compare [ 1 ] [ 2 ]);
+  check_float "duplicates collapse" 1.0
+    (Util.Stats.jaccard compare [ 1; 1; 2 ] [ 2; 2; 1 ])
+
+let test_cdf () =
+  let c = Util.Stats.cdf [ 1.0; 1.0; 2.0; 4.0 ] in
+  Alcotest.(check int) "distinct points" 3 (List.length c);
+  let _, frac1 = List.hd c in
+  check_float "first point fraction" 0.5 frac1
+
+let test_percentile () =
+  check_float "p0" 1.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 0.0);
+  check_float "p100" 3.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 1.0);
+  check_float "p50" 2.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 0.5)
+
+let test_render_table () =
+  let t =
+    Util.Render.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ]
+  in
+  Alcotest.(check bool) "contains rule" true (String.contains t '-');
+  Alcotest.(check bool) "contains cell" true
+    (String.length t > 0 && String.contains t '3')
+
+let prop_pearson_bounded =
+  QCheck.Test.make ~name:"pearson in [-1,1]" ~count:200
+    QCheck.(pair (list_of_size Gen.(2 -- 20) (float_bound_exclusive 100.0))
+              (list_of_size Gen.(2 -- 20) (float_bound_exclusive 100.0)))
+    (fun (xs, ys) ->
+      let n = min (List.length xs) (List.length ys) in
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      let r = Util.Stats.pearson (take n xs) (take n ys) in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile monotone" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 30) (float_bound_exclusive 1000.0))
+    (fun xs ->
+      Util.Stats.percentile xs 0.2 <= Util.Stats.percentile xs 0.8)
+
+let tests =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seeds_differ;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy;
+    Alcotest.test_case "mean/median" `Quick test_mean_median;
+    Alcotest.test_case "min-max-median" `Quick test_min_max_median;
+    Alcotest.test_case "pearson" `Quick test_pearson;
+    Alcotest.test_case "jaccard" `Quick test_jaccard;
+    Alcotest.test_case "cdf" `Quick test_cdf;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "render table" `Quick test_render_table;
+    QCheck_alcotest.to_alcotest prop_pearson_bounded;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+  ]

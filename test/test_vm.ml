@@ -1,0 +1,124 @@
+(* VX virtual machine semantics: edge cases the differential tests do not
+   isolate — traps, fuel, calling convention details, arithmetic corner
+   cases, and the IR interpreter / VM agreement on them. *)
+
+let compile src =
+  Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc "O1"
+    (Minic.Sema.analyze src)
+
+let run ?(input = [||]) src =
+  let r = Vm.Machine.run (compile src) ~input in
+  (Vir.Interp.output_to_string r.output, r.return_value)
+
+let test_division_semantics () =
+  let out, _ =
+    run
+      "int main() { print_int(7 / 2); print_int(-7 / 2); print_int(7 % -2); print_int(5 / 0); print_int(5 % 0); return 0; }"
+  in
+  (* C-style truncation toward zero; division by zero is total (0) *)
+  Alcotest.(check string) "division" "3\n-3\n1\n0\n0\n" out
+
+let test_shift_semantics () =
+  let out, _ =
+    run
+      "int main() { print_int(1 << 10); print_int(-16 >> 2); print_int(3 << 0); return 0; }"
+  in
+  Alcotest.(check string) "shifts" "1024\n-4\n3\n" out
+
+let test_deep_recursion () =
+  let _, rv =
+    run
+      "int down(int n) { if (n <= 0) { return 0; } return down(n - 1) + 1; } int main() { return down(5000) & 255; }"
+  in
+  Alcotest.(check int) "deep recursion survives" (5000 land 255) rv
+
+let test_stack_overflow_traps () =
+  let src = "int forever(int n) { return forever(n + 1); } int main() { return forever(0); }" in
+  match Vm.Machine.run ~fuel:50_000_000 (compile src) ~input:[||] with
+  | exception Vm.Machine.Trap _ -> ()
+  | exception Vm.Machine.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "unbounded recursion must trap or exhaust fuel"
+
+let test_fuel_exhaustion () =
+  let src = "int main() { int x = 0; while (1) { x++; } return x; }" in
+  match Vm.Machine.run ~fuel:10_000 (compile src) ~input:[||] with
+  | exception Vm.Machine.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected Out_of_fuel"
+
+let test_oob_data_traps () =
+  (* an out-of-bounds global store traps rather than corrupting memory;
+     the index must escape the whole data segment, not just the array *)
+  let src = "int a[4]; int main() { a[1000000] = 1; return 0; }" in
+  match Vm.Machine.run (compile src) ~input:[||] with
+  | exception Vm.Machine.Trap _ -> ()
+  | _ -> Alcotest.fail "expected trap"
+
+let test_input_conventions () =
+  let out, _ =
+    run ~input:[| 11; 22 |]
+      "int main() { print_int(input(0)); print_int(input(1)); print_int(input(99)); print_int(input_len()); return 0; }"
+  in
+  Alcotest.(check string) "inputs" "11\n22\n0\n2\n" out
+
+let test_run_function_args () =
+  let bin =
+    compile
+      "int add3(int a, int b, int c) { return a + b + c; } int main() { return 0; }"
+  in
+  let fid =
+    let found = ref (-1) in
+    Array.iteri
+      (fun i (n, _, _) -> if n = "add3" then found := i)
+      bin.Isa.Binary.functions;
+    !found
+  in
+  let r = Vm.Machine.run_function bin ~fid ~args:[ 1; 2; 3 ] ~input:[||] in
+  Alcotest.(check int) "direct call" 6 r.return_value
+
+let test_interp_vm_agree_on_corner_programs () =
+  List.iter
+    (fun src ->
+      let prog = Minic.Sema.analyze src in
+      let ir = Vir.Lower.lower_program prog in
+      let ri = Vir.Interp.run ir ~input:[| 3 |] in
+      let bin = Toolchain.Pipeline.compile_preset Toolchain.Flags.llvm "O3" prog in
+      let rv = Vm.Machine.run bin ~input:[| 3 |] in
+      Alcotest.(check string) "output parity"
+        (Vir.Interp.output_to_string ri.output)
+        (Vir.Interp.output_to_string rv.Vm.Machine.output);
+      Alcotest.(check int) "exit parity" ri.return_value rv.Vm.Machine.return_value)
+    [
+      (* empty main *)
+      "int main() { return 42; }";
+      (* negative modulo chains *)
+      "int main() { int s = 0; for (int i = -8; i < 8; i++) { s += i % 3 + i / 3; } print_int(s); return s & 7; }";
+      (* switch on negative values falls to default *)
+      "int main() { switch (0 - 5) { case 1: return 1; default: print_int(-1); } return 0; }";
+      (* deeply nested conditionals *)
+      "int main() { int x = input(0); if (x > 0) { if (x > 1) { if (x > 2) { print_int(3); } else { print_int(2); } } else { print_int(1); } } else { print_int(0); } return 0; }";
+      (* shadowing in nested blocks *)
+      "int main() { int x = 1; { int x = 2; print_int(x); } print_int(x); return 0; }";
+      (* ternary chains with side-effect-free arms *)
+      "int main() { int a = input(0); print_int(a > 2 ? a > 5 ? 9 : 7 : a); return 0; }";
+      (* large constants survive encode/decode *)
+      "int main() { int big = 123456789123456; print_int(big); print_int(big * 2 / 2); return 0; }";
+    ]
+
+let test_steps_counts_instructions () =
+  let bin = compile "int main() { return 7; }" in
+  let r = Vm.Machine.run bin ~input:[||] in
+  Alcotest.(check bool) "small step count" true (r.steps > 0 && r.steps < 64)
+
+let tests =
+  [
+    Alcotest.test_case "division" `Quick test_division_semantics;
+    Alcotest.test_case "shifts" `Quick test_shift_semantics;
+    Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+    Alcotest.test_case "stack overflow" `Quick test_stack_overflow_traps;
+    Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
+    Alcotest.test_case "oob traps" `Quick test_oob_data_traps;
+    Alcotest.test_case "input conventions" `Quick test_input_conventions;
+    Alcotest.test_case "run_function" `Quick test_run_function_args;
+    Alcotest.test_case "corner programs" `Quick test_interp_vm_agree_on_corner_programs;
+    Alcotest.test_case "step counting" `Quick test_steps_counts_instructions;
+  ]
