@@ -1,0 +1,21 @@
+# Convenience entry points; everything below is plain dune.
+#
+#   make check        build everything and run the full test suite
+#   make bench-smoke  scaled-down Table 1 on the parallel engine (-quick -j 2)
+#   make ci           what tools/ci.sh runs: check + bench-smoke + the
+#                     determinism-sentinel cross-check over -j values
+
+.PHONY: check bench-smoke ci
+
+check:
+	dune build @all
+	dune runtest
+
+# A fast end-to-end exercise of the tuning engine: quick GA budget, two
+# worker domains, full Table 1 driver (pretune fan-out + compile memo +
+# determinism sentinel all on the hot path).
+bench-smoke:
+	dune exec bench/main.exe -- -quick -j 2 table1
+
+ci:
+	tools/ci.sh

@@ -19,15 +19,30 @@ let printf = Printf.printf
 
 let bench_termination =
   (* scaled-down GA budget; the paper's runs take 279-1881 iterations on
-     a 36-core Xeon — ours are sized for a laptop-minutes run *)
-  {
-    Ga.Genetic.max_evaluations = 300;
-    plateau_window = 110;
-    plateau_epsilon = 0.0035;
-  }
+     a 36-core Xeon — ours are sized for a laptop-minutes run.  The
+     [-quick] flag shrinks it further for CI smoke runs. *)
+  ref
+    {
+      Ga.Genetic.max_evaluations = 300;
+      plateau_window = 110;
+      plateau_epsilon = 0.0035;
+    }
+
+(* the worker pool every tuning job runs on; sized by [-j N] (default:
+   the machine's domain count).  Tuning results are bit-identical at
+   every [-j] — see the determinism sentinel under table1. *)
+let pool = ref (Parallel.Pool.create 1)
 
 let tune_cache : (string * string * Isa.Insn.arch, Bintuner.Tuner.result) Hashtbl.t =
   Hashtbl.create 64
+
+let report_tuned bench (profile : Toolchain.Flags.profile)
+    (r : Bintuner.Tuner.result) =
+  printf
+    "  [tuned] %-18s %-9s iters=%-4d NCD=%.3f functional=%b memo=%d/%d\n%!"
+    bench.Corpus.bname profile.profile_name r.iterations r.best_ncd
+    r.functional_ok r.cache_hits
+    (r.cache_hits + r.compilations)
 
 let tuned ?(arch = Isa.Insn.X86_64) profile bench =
   let key = (profile.Toolchain.Flags.profile_name, bench.Corpus.bname, arch) in
@@ -35,12 +50,41 @@ let tuned ?(arch = Isa.Insn.X86_64) profile bench =
   | Some r -> r
   | None ->
     let r =
-      Bintuner.Tuner.tune ~arch ~termination:bench_termination ~profile bench
+      Bintuner.Tuner.tune ~arch ~termination:!bench_termination ~pool:!pool
+        ~profile bench
     in
-    printf "  [tuned] %-18s %-9s iters=%-4d NCD=%.3f functional=%b\n%!"
-      bench.bname profile.profile_name r.iterations r.best_ncd r.functional_ok;
+    report_tuned bench profile r;
     Hashtbl.replace tune_cache key r;
     r
+
+(* Fan whole (benchmark × profile × arch) tuning jobs out across the
+   pool.  Each job is an independent deterministic run (its RNG stream
+   is derived from the global seed and the job identity, never from
+   scheduling), so the cache fill and the progress lines come out in
+   list order no matter which worker ran what. *)
+let pretune ?(arch = Isa.Insn.X86_64) jobs =
+  let missing =
+    List.filter
+      (fun (profile, bench) ->
+        not
+          (Hashtbl.mem tune_cache
+             (profile.Toolchain.Flags.profile_name, bench.Corpus.bname, arch)))
+      jobs
+  in
+  let results =
+    Parallel.Pool.map_list ~chunk_size:1 !pool
+      (fun (profile, bench) ->
+        Bintuner.Tuner.tune ~arch ~termination:!bench_termination ~pool:!pool
+          ~profile bench)
+      missing
+  in
+  List.iter2
+    (fun (profile, bench) r ->
+      report_tuned bench profile r;
+      Hashtbl.replace tune_cache
+        (profile.Toolchain.Flags.profile_name, bench.Corpus.bname, arch)
+        r)
+    missing results
 
 let preset_binary ?(arch = Isa.Insn.X86_64) profile name bench =
   Toolchain.Pipeline.compile_preset profile ~arch name (Corpus.program bench)
@@ -62,6 +106,7 @@ let binhunt a b =
 (* ------------------------------------------------------------------ *)
 
 let fig5_profile profile ~first_bar =
+  pretune (List.map (fun b -> (profile, b)) Corpus.evaluation_set);
   let series = [ first_bar; "O2 vs O0"; "O3 vs O0"; "BinTuner vs O0"; "BinTuner vs O3" ] in
   let rows =
     List.map
@@ -139,6 +184,10 @@ let fig5 () =
 
 let table1 () =
   print_string (section "Table 1: BinTuner search iterations / running time");
+  pretune
+    (List.concat_map
+       (fun profile -> List.map (fun b -> (profile, b)) Corpus.evaluation_set)
+       [ Toolchain.Flags.llvm; Toolchain.Flags.gcc ]);
   let group profile suite =
     let benches =
       List.filter (fun b -> b.Corpus.suite = suite) Corpus.evaluation_set
@@ -178,7 +227,35 @@ let table1 () =
          ]
        ~rows);
   printf
-    "(paper: 279-1881 iterations, 0.3-70.9 hours on SPEC; scale reduced here)\n"
+    "(paper: 279-1881 iterations, 0.3-70.9 hours on SPEC; scale reduced here)\n";
+  (* determinism sentinel: a digest over every deterministic field of
+     every tuning run above.  Identical at every [-j] and with the
+     compile memo on or off — tools/ci.sh greps for it, and the
+     differential test suite asserts the underlying property per run. *)
+  let hits = ref 0 and requests = ref 0 in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun profile ->
+      List.iter
+        (fun b ->
+          let r = tuned profile b in
+          hits := !hits + r.Bintuner.Tuner.cache_hits;
+          requests := !requests + r.cache_hits + r.compilations;
+          Buffer.add_string buf
+            (Printf.sprintf "%s/%s best=%s ncd=%.6f iters=%d memo=%d+%d %s\n"
+               r.benchmark r.profile_name
+               (Bintuner.Database.vector_to_string r.best_vector)
+               r.best_ncd r.iterations r.cache_hits r.compilations
+               (String.concat ","
+                  (List.map
+                     (fun (i, f) -> Printf.sprintf "%d:%.6f" i f)
+                     r.history))))
+        Corpus.evaluation_set)
+    [ Toolchain.Flags.llvm; Toolchain.Flags.gcc ];
+  printf "compile memo: %d of %d compile requests served from cache\n" !hits
+    !requests;
+  printf "table1 determinism sentinel: %s\n"
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: NCD trajectory over iterations                            *)
@@ -192,8 +269,12 @@ let fig6_cases =
     ("429.mcf", Toolchain.Flags.gcc);
   ]
 
+let pretune_cases cases =
+  pretune (List.map (fun (name, profile) -> (profile, Corpus.find name)) cases)
+
 let fig6 () =
   print_string (section "Figure 6: NCD variation over BinTuner iterations");
+  pretune_cases fig6_cases;
   List.iter
     (fun (name, profile) ->
       let bench = Corpus.find name in
@@ -221,6 +302,7 @@ let fig6 () =
 let fig7 () =
   print_string
     (section "Figure 7: top-10 most potent optimization flags (leave-one-out)");
+  pretune_cases fig6_cases;
   List.iter
     (fun (name, profile) ->
       let bench = Corpus.find name in
@@ -302,6 +384,7 @@ let fig8 () =
   print_string (section "Figure 8: Precision@1 of prominent binary diffing tools");
   let gcc = Toolchain.Flags.gcc and llvm = Toolchain.Flags.llvm in
   let cu = Corpus.find "coreutils" and ssl = Corpus.find "openssl" in
+  pretune [ (gcc, cu); (llvm, ssl) ];
   fig8_setting "Figure 8(a): GCC & Coreutils (vs O0)" cu gcc
     [
       ("O1 vs O0", preset_binary gcc "O1" cu);
@@ -330,6 +413,11 @@ let table2 () =
   print_string
     (section "Table 2: AV scanners flagging IoT malware variants (of 60)");
   let gcc = Toolchain.Flags.gcc in
+  List.iter
+    (fun arch ->
+      pretune ~arch
+        (List.map (fun n -> (gcc, Corpus.find n)) [ "lightaidra"; "bashlife" ]))
+    Isa.Insn.all_arches;
   let rows =
     List.concat_map
       (fun bname ->
@@ -371,6 +459,10 @@ let table2 () =
 
 let table3 () =
   print_string (section "Table 3: average execution speedup vs -O0 (dynamic instructions)");
+  pretune
+    (List.concat_map
+       (fun profile -> List.map (fun b -> (profile, b)) Corpus.evaluation_set)
+       [ Toolchain.Flags.gcc; Toolchain.Flags.llvm ]);
   let speedup bin0 bin bench =
     let steps which =
       List.fold_left
@@ -463,6 +555,11 @@ let cross_table title profile bench settings =
     (Util.Render.table ~header:(("" :: settings) @ [ "Sum" ]) ~rows)
 
 let table45 () =
+  pretune
+    [
+      (Toolchain.Flags.llvm, Corpus.find "462.libquantum");
+      (Toolchain.Flags.gcc, Corpus.find "coreutils");
+    ];
   cross_table "Table 4: LLVM 11.0 & 462.libquantum cross comparison"
     Toolchain.Flags.llvm
     (Corpus.find "462.libquantum")
@@ -478,6 +575,11 @@ let table45 () =
 let fig10 () =
   print_string
     (section "Figure 10: Pearson correlation between NCD and BinHunt scores");
+  pretune
+    [
+      (Toolchain.Flags.llvm, Corpus.find "462.libquantum");
+      (Toolchain.Flags.gcc, Corpus.find "429.mcf");
+    ];
   let correlations = ref [] in
   List.iter
     (fun (name, profile) ->
@@ -525,6 +627,7 @@ let fig10 () =
 (* ------------------------------------------------------------------ *)
 
 let table78_profile profile ~first_bar =
+  pretune (List.map (fun b -> (profile, b)) Corpus.evaluation_set);
   let rows =
     List.map
       (fun bench ->
@@ -781,7 +884,7 @@ let ablation () =
                 plateau_window = budget;
                 plateau_epsilon = 0.0;
               }
-            ~ngenes ~seeds ~repair ~fitness);
+            ~ngenes ~seeds ~repair ~fitness ());
       run "hill-climb" (fun ~rng ~ngenes ~seeds ~repair ~fitness ->
           Ga.Strategies.hill_climb ~rng ~max_evaluations:budget ~ngenes ~seeds
             ~repair ~fitness);
@@ -837,7 +940,7 @@ let multiobj () =
              (fun n -> Toolchain.Flags.preset profile n)
              [ "O2"; "O3" ])
         ~repair:(Toolchain.Constraints.repair profile rng)
-        ~fitness
+        ~fitness ()
     in
     let bin = Toolchain.Pipeline.compile_flags profile outcome.best ast in
     let ncd, speedup = measure bin in
@@ -878,14 +981,48 @@ let experiments =
     ("bechamel", bechamel);
   ]
 
+let usage () =
+  printf
+    "usage: main.exe [-j N] [-quick] [experiment...]\n\
+     \  -j N     run tuning jobs and GA generations on N domains\n\
+     \           (default: the machine's recommended domain count;\n\
+     \           results are bit-identical at every N)\n\
+     \  -quick   shrink the GA budget for smoke runs\n\
+     known experiments: %s\n"
+    (String.concat " " (List.map fst experiments))
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let selected =
+  let rec parse args (j, quick, names) =
     match args with
+    | [] -> (j, quick, List.rev names)
+    | "-j" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> parse rest (n, quick, names)
+      | _ ->
+        usage ();
+        exit 2)
+    | "-quick" :: rest -> parse rest (j, true, names)
+    | ("-h" | "-help" | "--help") :: _ ->
+      usage ();
+      exit 0
+    | name :: rest -> parse rest (j, quick, name :: names)
+  in
+  let j, quick, names =
+    parse
+      (List.tl (Array.to_list Sys.argv))
+      (Parallel.Pool.default_size (), false, [])
+  in
+  if quick then
+    bench_termination :=
+      { !bench_termination with max_evaluations = 60; plateau_window = 40 };
+  pool := Parallel.Pool.create j;
+  printf "bench: %d worker domain(s)%s\n" j (if quick then ", quick budget" else "");
+  let selected =
+    match names with
     | [] -> List.map fst experiments
     | names -> names
   in
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -894,4 +1031,5 @@ let () =
         printf "unknown experiment %s (known: %s)\n" name
           (String.concat " " (List.map fst experiments)))
     selected;
-  printf "\nTotal bench time: %.1fs\n" (Sys.time () -. t0)
+  printf "\nTotal bench time: %.1fs wall\n" (Unix.gettimeofday () -. t0);
+  Parallel.Pool.shutdown !pool

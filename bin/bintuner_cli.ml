@@ -79,19 +79,34 @@ let tune_cmd =
   let iterations =
     Arg.(value & opt int 500 & info [ "max-iterations" ] ~doc:"GA evaluation budget.")
   in
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ]
+             ~doc:
+               "Worker domains for the parallel evaluation engine (0 = the \
+                machine's recommended domain count).  Results are identical \
+                at every value.")
+  in
   let db =
     Arg.(value & opt (some string) None
          & info [ "db" ] ~doc:"Append the run to this tuning-database file.")
   in
-  let run bench source profile arch iterations db =
+  let run bench source profile arch iterations jobs db =
     let _, b = load_program ~bench ~source in
     let p = profile_of profile in
     let termination =
       { Ga.Genetic.default_termination with max_evaluations = iterations }
     in
-    let r = Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination ~profile:p b in
+    let j = if jobs <= 0 then Parallel.Pool.default_size () else jobs in
+    let r =
+      Parallel.Pool.with_pool j (fun pool ->
+          Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination ~pool ~profile:p
+            b)
+    in
     Printf.printf "tuned %s with %s: %d iterations, fitness NCD %.3f, functional %b\n"
       r.benchmark r.profile_name r.iterations r.best_ncd r.functional_ok;
+    Printf.printf "compile memo: %d of %d compile requests served from cache (-j %d)\n"
+      r.cache_hits (r.cache_hits + r.compilations) j;
     List.iter (fun (n, v) -> Printf.printf "  %-3s fitness %.3f\n" n v) r.preset_ncd;
     Printf.printf "flags: %s\n"
       (String.concat " " (Bintuner.Tuner.flags_enabled p r.best_vector));
@@ -104,7 +119,7 @@ let tune_cmd =
       Printf.printf "run appended to %s\n" path
   in
   Cmd.v (Cmd.info "tune" ~doc:"Run BinTuner's iterative compilation on a benchmark.")
-    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ iterations $ db)
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ iterations $ jobs $ db)
 
 let diff_cmd =
   let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in

@@ -18,11 +18,26 @@ type run = {
 
 val of_result : Tuner.result -> Toolchain.Flags.profile -> run
 
+val vector_to_string : bool array -> string
+(** Canonical ['0'/'1'] rendering of a flag vector — the database file
+    format, also used for cache keys and determinism digests. *)
+
+val vector_of_string : string -> bool array
+(** Inverse of {!vector_to_string}.  Raises [Failure] on other
+    characters. *)
+
 val save : string -> run list -> unit
 (** Write runs to a file (overwrites). *)
 
 val load : string -> run list
 (** Parse a database file.  Raises [Failure] on malformed input. *)
+
+val lookup : run -> bool array -> float option
+(** [lookup r] builds a constant-time fitness index over [r]'s entries
+    (first occurrence wins) and returns a lookup function: [Some ncd] if
+    this exact flag vector was already evaluated in the run.  The
+    fitness-level memo layer for resumed or mined tuning databases —
+    repair-induced duplicate vectors hit it instead of recompiling. *)
 
 val flag_frequency : run -> (string * float) list
 (** For each flag, the fraction of the run's top-decile (by fitness)

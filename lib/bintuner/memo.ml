@@ -1,0 +1,54 @@
+type t = {
+  enabled : bool;
+  table : (string, Isa.Binary.t) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(enabled = true) () =
+  { enabled; table = Hashtbl.create 256; mutex = Mutex.create (); hits = 0; misses = 0 }
+
+let hits t =
+  Mutex.lock t.mutex;
+  let h = t.hits in
+  Mutex.unlock t.mutex;
+  h
+
+let misses t =
+  Mutex.lock t.mutex;
+  let m = t.misses in
+  Mutex.unlock t.mutex;
+  m
+
+let key ~profile ~arch vector =
+  let bits =
+    String.init (Array.length vector) (fun i -> if vector.(i) then '1' else '0')
+  in
+  profile ^ "|" ^ Isa.Insn.arch_name arch ^ "|" ^ bits
+
+let find_or_compile t ~key compile =
+  if not t.enabled then begin
+    Mutex.lock t.mutex;
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.mutex;
+    compile ()
+  end
+  else begin
+    Mutex.lock t.mutex;
+    match Hashtbl.find_opt t.table key with
+    | Some bin ->
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.mutex;
+      bin
+    | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.mutex;
+      (* compile outside the lock: workers memoizing different keys must
+         not serialize on each other's compilations *)
+      let bin = compile () in
+      Mutex.lock t.mutex;
+      if not (Hashtbl.mem t.table key) then Hashtbl.replace t.table key bin;
+      Mutex.unlock t.mutex;
+      bin
+  end

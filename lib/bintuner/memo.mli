@@ -1,0 +1,39 @@
+(** Compile memoization for the tuning loop.
+
+    The GA's constraint-repair step routinely maps several distinct raw
+    genomes onto the same valid flag vector, and the tuner's final
+    verification re-scores vectors it already compiled during the search
+    — so the same [(profile, arch, flag-vector)] triple reaches the
+    compiler many times per run.  Compilation is a pure function of that
+    triple (plus the benchmark's immutable AST), so a memo layer can
+    serve repeats from cache without any effect on results; the
+    cache-correctness tests assert exactly that, and the hit/miss
+    counters are reported in {!Tuner.result} so every experiment shows
+    how much compilation it avoided.
+
+    The table is mutex-protected: a {!Parallel.Pool} batch may look up
+    and insert concurrently.  Compilation itself runs outside the lock.
+    One memo instance is valid for {e one} source program — the key does
+    not include the AST — which is why {!Tuner.tune} creates its own. *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh, empty memo.  With [~enabled:false] every request compiles
+    (and counts as a miss) — the reference the differential tests
+    compare against. *)
+
+val key : profile:string -> arch:Isa.Insn.arch -> bool array -> string
+(** The canonical [(profile, arch, flag-vector)] cache key. *)
+
+val find_or_compile : t -> key:string -> (unit -> Isa.Binary.t) -> Isa.Binary.t
+(** Serve [key] from cache, or run the thunk and remember its result.
+    Thread-safe; the thunk runs unlocked. *)
+
+val hits : t -> int
+(** Requests served from cache. *)
+
+val misses : t -> int
+(** Requests that ran the compiler.  [hits t + misses t] is the total
+    number of compile requests made through [t].  (The fitness-level
+    counterpart, layered on persisted runs, is {!Database.lookup}.) *)

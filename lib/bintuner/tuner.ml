@@ -17,6 +17,8 @@ type result = {
   history : (int * float) list;
   wall_seconds : float;
   functional_ok : bool;
+  cache_hits : int;
+  compilations : int;
   database : entry list;
 }
 
@@ -51,9 +53,13 @@ let functional_check bench bin0 bin =
     bench.Corpus.workloads
 
 let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
-    ?(termination = Ga.Genetic.default_termination) ?(seed = 1)
-    ~(profile : Toolchain.Flags.profile) (bench : Corpus.benchmark) =
-  let t0 = Sys.time () in
+    ?(termination = Ga.Genetic.default_termination) ?(seed = 1) ?pool
+    ?(memoize = true) ~(profile : Toolchain.Flags.profile)
+    (bench : Corpus.benchmark) =
+  let t0 = Unix.gettimeofday () in
+  let pool =
+    match pool with Some p -> p | None -> Parallel.Pool.create 1
+  in
   let rng = Util.Rng.create (seed + Hashtbl.hash (bench.Corpus.bname, profile.profile_name)) in
   let ast = Corpus.program bench in
   let baseline = Toolchain.Pipeline.compile_preset profile ~arch "O0" ast in
@@ -64,26 +70,42 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
     else Compress.Lz.compressed_size s
   in
   let database = ref [] in
-  let compile vector = Toolchain.Pipeline.compile_flags profile ~arch vector ast in
-  let fitness vector =
-    let bin = compile vector in
-    let ncd =
-      Compress.Ncd.distance_cached csize (code_stream bin) baseline_stream
-    in
-    database := { vector = Array.copy vector; ncd } :: !database;
-    ncd
+  let memo = Memo.create ~enabled:memoize () in
+  let compile vector =
+    Memo.find_or_compile memo
+      ~key:(Memo.key ~profile:profile.profile_name ~arch vector)
+      (fun () -> Toolchain.Pipeline.compile_flags profile ~arch vector ast)
   in
+  (* One generation's worth of candidates at a time: compile + NCD run in
+     parallel across the pool (each is a pure function of its vector),
+     then the iteration database is appended sequentially in input order
+     — the scheduling of the batch can never leak into the result. *)
+  let batch_fitness vectors =
+    let ncds =
+      Parallel.Pool.map pool
+        (fun v ->
+          Compress.Ncd.distance_cached csize (code_stream (compile v))
+            baseline_stream)
+        vectors
+    in
+    Array.iteri
+      (fun i v ->
+        database := { vector = Array.copy v; ncd = ncds.(i) } :: !database)
+      vectors;
+    ncds
+  in
+  let fitness vector = (batch_fitness [| vector |]).(0) in
   let seeds =
     List.filter_map
       (fun name -> Toolchain.Flags.preset profile name)
       [ "O1"; "O2"; "O3"; "Os" ]
   in
   let outcome =
-    Ga.Genetic.run ~rng ~params ~termination
+    Ga.Genetic.run ~batch_fitness ~rng ~params ~termination
       ~ngenes:(Array.length profile.flags)
       ~seeds
       ~repair:(Toolchain.Constraints.repair profile rng)
-      ~fitness
+      ~fitness ()
   in
   (* Final selection: the GA typically ends with a set of near-tied best
      fitness values ("multiple different versions that all reveal the
@@ -132,8 +154,10 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
     match top_candidates with
     | [] -> (outcome.best, best_binary)
     | cands ->
+      (* BinHunt is two orders of magnitude dearer than the fitness
+         (§4.2): score the verification set across the pool *)
       let scored =
-        List.map
+        Parallel.Pool.map_list ~chunk_size:1 pool
           (fun e ->
             let bin = compile e.vector in
             (Diffing.Binhunt.diff_score bin baseline, e.vector, bin))
@@ -150,7 +174,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
       (v, b)
   in
   let preset_ncd =
-    List.map
+    Parallel.Pool.map_list ~chunk_size:1 pool
       (fun name ->
         let bin = Toolchain.Pipeline.compile_preset profile ~arch name ast in
         (name, fitness_of_binaries bin baseline))
@@ -168,9 +192,11 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
     preset_ncd;
     iterations = outcome.evaluations;
     history = outcome.history;
-    wall_seconds = Sys.time () -. t0;
+    wall_seconds = Unix.gettimeofday () -. t0;
     functional_ok =
       functional_check bench baseline best_binary
       && functional_check bench baseline refined_binary;
+    cache_hits = Memo.hits memo;
+    compilations = Memo.misses memo;
     database = List.rev !database;
   }

@@ -31,10 +31,17 @@ type result = {
   refined_binary : Isa.Binary.t;
   preset_ncd : (string * float) list;
       (** NCD vs O0 of every -Ox preset, for reference *)
-  iterations : int;  (** distinct compilations, as in Table 1 *)
+  iterations : int;  (** distinct fitness evaluations, as in Table 1 *)
   history : (int * float) list;  (** best-so-far NCD per iteration *)
-  wall_seconds : float;
+  wall_seconds : float;  (** wall-clock (not CPU) duration of the run *)
   functional_ok : bool;  (** tuned binary passes all test workloads *)
+  cache_hits : int;
+      (** compile requests served by the {!Memo} layer instead of
+          recompiling (final selection re-scoring, duplicate vectors) *)
+  compilations : int;
+      (** compile requests that actually ran the flag-driven pipeline;
+          [cache_hits + compilations] is the total number of compile
+          requests the run made, a quantity independent of memoization *)
   database : entry list;  (** every (vector, fitness) evaluated *)
 }
 
@@ -60,11 +67,19 @@ val tune :
   ?params:Ga.Genetic.params ->
   ?termination:Ga.Genetic.termination ->
   ?seed:int ->
+  ?pool:Parallel.Pool.t ->
+  ?memoize:bool ->
   profile:Toolchain.Flags.profile ->
   Corpus.benchmark ->
   result
 (** Run the full auto-tuning loop on one benchmark.  Deterministic for a
-    fixed [seed] (default 1). *)
+    fixed [seed] (default 1): the result is bit-identical whatever [pool]
+    is passed (each generation is fitness-scored as one ordered
+    [Pool.map] batch; all random draws stay in the sequential part of the
+    loop) and whether or not [memoize] is on (compilation is pure, the
+    memo only skips repeats — its traffic is reported in [cache_hits] /
+    [compilations]).  Both properties are enforced by the differential
+    test suite.  Default: no parallelism, memoization on. *)
 
 val flags_enabled : Toolchain.Flags.profile -> bool array -> string list
 (** Names of the flags a vector enables. *)

@@ -53,12 +53,22 @@ let botnet_set = List.filter (fun b -> b.suite = Botnet) all
 
 let find name = List.find (fun b -> b.bname = name) all
 
+(* mutex-protected: benchmarks are compiled from worker domains under
+   the parallel tuning engine, and this cache is the one piece of shared
+   mutable state on that path (the cached AST itself is immutable — all
+   AST passes return fresh programs) *)
 let cache : (string, Minic.Ast.program) Hashtbl.t = Hashtbl.create 24
 
+let cache_mutex = Mutex.create ()
+
 let program b =
-  match Hashtbl.find_opt cache b.bname with
-  | Some p -> p
-  | None ->
-    let p = Minic.Sema.analyze b.source in
-    Hashtbl.replace cache b.bname p;
-    p
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      match Hashtbl.find_opt cache b.bname with
+      | Some p -> p
+      | None ->
+        let p = Minic.Sema.analyze b.source in
+        Hashtbl.replace cache b.bname p;
+        p)

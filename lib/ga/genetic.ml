@@ -48,7 +48,13 @@ type state = {
   mutable recent : (int * float) list;  (** (eval index, best at that point) *)
 }
 
-let run ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness =
+let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
+    () =
+  let batch =
+    match batch_fitness with
+    | Some f -> f
+    | None -> fun genomes -> Array.map fitness genomes
+  in
   let st =
     {
       cache = Hashtbl.create 256;
@@ -59,21 +65,46 @@ let run ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness =
       recent = [];
     }
   in
-  let evaluate genome =
-    let key = genome_key genome in
-    match Hashtbl.find_opt st.cache key with
-    | Some f -> f
-    | None ->
-      let f = fitness genome in
-      Hashtbl.replace st.cache key f;
-      st.evals <- st.evals + 1;
-      if f > st.best_fitness then begin
-        st.best_fitness <- f;
-        st.best <- Array.copy genome
-      end;
-      st.history_rev <- (st.evals, st.best_fitness) :: st.history_rev;
-      st.recent <- (st.evals, st.best_fitness) :: st.recent;
-      f
+  let record genome f =
+    Hashtbl.replace st.cache (genome_key genome) f;
+    st.evals <- st.evals + 1;
+    if f > st.best_fitness then begin
+      st.best_fitness <- f;
+      st.best <- Array.copy genome
+    end;
+    st.history_rev <- (st.evals, st.best_fitness) :: st.history_rev;
+    st.recent <- (st.evals, st.best_fitness) :: st.recent
+  in
+  (* Score a whole generation at once: the distinct not-yet-evaluated
+     genomes (first-occurrence order, truncated to the remaining budget)
+     go to [batch] as one array — the parallel engine's unit of work —
+     and the bookkeeping is then replayed sequentially in that same
+     order, so best/history/evaluation counts never depend on how the
+     batch was scheduled. *)
+  let evaluate_generation population scores =
+    let seen = Hashtbl.create 16 in
+    let pending = ref [] in
+    Array.iter
+      (fun g ->
+        let key = genome_key g in
+        if not (Hashtbl.mem st.cache key) && not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          pending := Array.copy g :: !pending
+        end)
+      population;
+    let budget = max 0 (termination.max_evaluations - st.evals) in
+    let pending = List.filteri (fun i _ -> i < budget) (List.rev !pending) in
+    if pending <> [] then begin
+      let arr = Array.of_list pending in
+      let fs = batch arr in
+      Array.iteri (fun i g -> record g fs.(i)) arr
+    end;
+    Array.iteri
+      (fun i g ->
+        match Hashtbl.find_opt st.cache (genome_key g) with
+        | Some f -> scores.(i) <- f
+        | None -> () (* budget exhausted before this genome; stale score *))
+      population
   in
   let plateaued () =
     if st.evals < termination.plateau_window then false
@@ -113,7 +144,8 @@ let run ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness =
     Array.of_list
       (List.filteri (fun i _ -> i < max params.population_size 2) all)
   in
-  let scores = Array.map evaluate population in
+  let scores = Array.make (Array.length population) neg_infinity in
+  evaluate_generation population scores;
   let tournament () =
     let best = ref (Util.Rng.int rng (Array.length population)) in
     for _ = 2 to params.tournament_size do
@@ -172,9 +204,7 @@ let run ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness =
     done;
     let np = Array.of_list (List.rev !next) in
     Array.blit np 0 population 0 (Array.length population);
-    Array.iteri
-      (fun k g -> if continue_ () then scores.(k) <- evaluate g)
-      population
+    evaluate_generation population scores
   done;
   {
     best = st.best;

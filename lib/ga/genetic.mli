@@ -36,6 +36,7 @@ type outcome = {
 }
 
 val run :
+  ?batch_fitness:(bool array array -> float array) ->
   rng:Util.Rng.t ->
   params:params ->
   termination:termination ->
@@ -43,7 +44,19 @@ val run :
   seeds:bool array list ->
   repair:(bool array -> bool array) ->
   fitness:(bool array -> float) ->
+  unit ->
   outcome
 (** Maximize [fitness].  [seeds] become part of the initial population
     (padded with random genomes).  Every genome is passed through
-    [repair] before evaluation. *)
+    [repair] before evaluation.
+
+    Evaluation is generational: each generation's distinct unevaluated
+    genomes are scored as one batch, by [batch_fitness] when given
+    (element [i] of its result must be the fitness of genome [i] — the
+    hook through which {!Bintuner.Tuner} fans a generation out across a
+    {!Parallel.Pool}) and by mapping [fitness] otherwise.  All search
+    decisions (selection, crossover, mutation, repair, termination) stay
+    on the caller's [rng] in the sequential part of the loop, so the
+    outcome is a function of the inputs alone — independent of how a
+    batch hook schedules its work.  The evaluation budget is enforced at
+    batch granularity: a batch is truncated, never overrun. *)

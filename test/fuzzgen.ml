@@ -78,7 +78,7 @@ let rec gen_stmt ctx : Minic.Ast.stmt list =
   let open Minic.Ast in
   ctx.depth <- ctx.depth + 1;
   let result =
-    match Util.Rng.int ctx.rng (if ctx.depth > 3 then 4 else 10) with
+    match Util.Rng.int ctx.rng (if ctx.depth > 3 then 4 else 11) with
     | 0 ->
       let v = fresh ctx "v" in
       let s = [ Decl (v, Some (gen_expr ctx 2)) ] in
@@ -121,17 +121,76 @@ let rec gen_stmt ctx : Minic.Ast.stmt list =
             body @ [ Assign (n, Binary (Sub, Var n, Int 1)) ] );
       ]
     | 7 ->
+      (* dense switch over a masked scrutinee: up to 8 case groups,
+         sometimes with a second label (k and k + 8 both land here), and
+         occasional fallthrough into the next group — exercising the
+         jump-table lowering's full label set *)
       let cases =
         List.init
-          (1 + Util.Rng.int ctx.rng 5)
-          (fun k -> ([ k ], gen_block ctx @ [ Break ]))
+          (1 + Util.Rng.int ctx.rng 8)
+          (fun k ->
+            let labels =
+              if Util.Rng.int ctx.rng 3 = 0 then [ k; k + 8 ] else [ k ]
+            in
+            let body = gen_block ctx in
+            let body =
+              if Util.Rng.int ctx.rng 4 = 0 then body (* fall through *)
+              else body @ [ Break ]
+            in
+            (labels, body))
       in
       [
         Switch
-          ( Binary (Band, gen_expr ctx 1, Int 7),
+          ( Binary (Band, gen_expr ctx 1, Int 15),
             cases,
             if Util.Rng.bool ctx.rng then Some (gen_block ctx) else None );
       ]
+    | 9 ->
+      (* explicitly nested counted loops (2–3 deep) with array traffic and
+         an accumulator — the shape that drives unrolling, unroll-and-jam
+         and loop-invariant code motion *)
+      let acc = fresh ctx "t" in
+      let acc_init = gen_expr ctx 1 in
+      ctx.scalars <- acc :: ctx.scalars;
+      let name, size = pick_array ctx in
+      let depth_loops = 2 + Util.Rng.int ctx.rng 2 in
+      let idxs = List.init depth_loops (fun _ -> fresh ctx "i") in
+      let index_sum =
+        List.fold_left
+          (fun e i -> Binary (Add, e, Var i))
+          (Int (Util.Rng.int ctx.rng 8))
+          idxs
+      in
+      let innermost =
+        [
+          Assign
+            ( acc,
+              Binary
+                ( Add,
+                  Binary (Mul, Var acc, Int 7),
+                  Index (name, Binary (Band, index_sum, Int (size - 1))) ) );
+          Store
+            ( name,
+              Binary (Band, index_sum, Int (size - 1)),
+              Binary (Add, Var acc, gen_expr ctx 1) );
+        ]
+      in
+      let nest =
+        List.fold_left
+          (fun body i ->
+            let bound = 2 + Util.Rng.int ctx.rng 4 in
+            [
+              For
+                ( Some (Decl (i, Some (Int 0))),
+                  Some (Binary (Lt, Var i, Int bound)),
+                  Some (Assign (i, Binary (Add, Var i, Int 1))),
+                  body );
+            ])
+          innermost (List.rev idxs)
+      in
+      Decl (acc, Some acc_init)
+      :: nest
+      @ [ Expr_stmt (Call ("print_int", [ Var acc ])) ]
     | 8 when ctx.funcs <> [] ->
       let f = List.nth ctx.funcs (Util.Rng.int ctx.rng (List.length ctx.funcs)) in
       let v = fresh ctx "r" in

@@ -1,0 +1,115 @@
+(* Cache-correctness tests for the compile-memo layer and the persisted
+   tuning database.
+
+   Memoization is only legal because compilation is a pure function of
+   (profile, arch, flag vector, AST).  These tests pin that down from
+   three directions:
+
+   - a full [Tuner.tune] run with the memo on must equal the same run
+     with the memo off, while the counters satisfy the conservation
+     invariant [hits_on + compilations_on = compilations_off];
+   - [Memo.find_or_compile] must return structurally identical binaries
+     to a fresh pipeline compile, for random repaired vectors;
+   - every (vector, ncd) pair a tuned run persists through [Database]
+     must agree with a from-scratch recompile + NCD — so lookups over
+     repair-induced duplicate vectors can never diverge from a fresh
+     compile. *)
+
+let term_small =
+  { Ga.Genetic.max_evaluations = 60; plateau_window = 40; plateau_epsilon = 0.0035 }
+
+let test_memo_on_off_equal () =
+  List.iter
+    (fun (name, profile) ->
+      let bench = Corpus.find name in
+      let on = Bintuner.Tuner.tune ~termination:term_small ~profile bench in
+      let off =
+        Bintuner.Tuner.tune ~termination:term_small ~memoize:false ~profile
+          bench
+      in
+      let label = name ^ "/" ^ profile.Toolchain.Flags.profile_name in
+      Alcotest.(check (list bool))
+        (label ^ ": best_vector") (Array.to_list on.best_vector)
+        (Array.to_list off.best_vector);
+      Alcotest.(check (float 0.0))
+        (label ^ ": best_ncd") on.best_ncd off.best_ncd;
+      Alcotest.(check int) (label ^ ": iterations") on.iterations off.iterations;
+      Alcotest.(check (list (pair int (float 0.0))))
+        (label ^ ": history") on.history off.history;
+      Alcotest.(check (list bool))
+        (label ^ ": refined_vector")
+        (Array.to_list on.refined_vector)
+        (Array.to_list off.refined_vector);
+      (* the memo actually worked... *)
+      Alcotest.(check bool) (label ^ ": memo saw hits") true (on.cache_hits >= 1);
+      Alcotest.(check int) (label ^ ": no hits when disabled") 0 off.cache_hits;
+      (* ...and the traffic is conserved: every request the disabled run
+         compiled was either compiled or served from cache by the enabled
+         run *)
+      Alcotest.(check int)
+        (label ^ ": hits + compilations invariant")
+        off.compilations
+        (on.cache_hits + on.compilations))
+    [ ("462.libquantum", Toolchain.Flags.llvm); ("429.mcf", Toolchain.Flags.gcc) ]
+
+(* [Memo.find_or_compile] vs a fresh pipeline compile, on random repaired
+   vectors — twice through the memo, so the second request is a
+   guaranteed cache hit. *)
+let prop_memo_matches_fresh_compile =
+  QCheck.Test.make ~name:"memo-served binaries equal fresh compiles" ~count:30
+    QCheck.(pair small_nat small_nat)
+    (fun (bseed, vseed) ->
+      let bench =
+        List.nth Corpus.all (bseed mod List.length Corpus.all)
+      in
+      let prog = Corpus.program bench in
+      let profile =
+        if vseed mod 2 = 0 then Toolchain.Flags.gcc else Toolchain.Flags.llvm
+      in
+      let rng = Util.Rng.create (vseed * 7 + 3) in
+      let n = Array.length profile.flags in
+      let v =
+        Toolchain.Constraints.repair profile rng
+          (Array.init n (fun _ -> Util.Rng.bool rng))
+      in
+      let memo = Bintuner.Memo.create () in
+      let key =
+        Bintuner.Memo.key ~profile:profile.profile_name ~arch:Isa.Insn.X86_64 v
+      in
+      let compile () = Toolchain.Pipeline.compile_flags profile v prog in
+      let first = Bintuner.Memo.find_or_compile memo ~key compile in
+      let second = Bintuner.Memo.find_or_compile memo ~key compile in
+      let fresh = compile () in
+      first = fresh && second = fresh
+      && Bintuner.Memo.hits memo = 1
+      && Bintuner.Memo.misses memo = 1)
+
+(* The persisted database of a real tuned run: every recorded fitness —
+   including entries for repair-induced duplicate vectors — must be
+   reproducible by a from-scratch compile, and [Database.lookup] must
+   return exactly the recorded value. *)
+let prop_database_lookup_matches_fresh =
+  let bench = Corpus.find "462.libquantum" in
+  let profile = Toolchain.Flags.llvm in
+  let result =
+    lazy (Bintuner.Tuner.tune ~termination:term_small ~profile bench)
+  in
+  QCheck.Test.make ~name:"database lookups never diverge from a fresh compile"
+    ~count:20 QCheck.small_nat (fun i ->
+      let r = Lazy.force result in
+      let run = Bintuner.Database.of_result r profile in
+      let entries = Array.of_list run.entries in
+      let vector, recorded = entries.(i mod Array.length entries) in
+      let prog = Corpus.program bench in
+      let baseline = Toolchain.Pipeline.compile_preset profile "O0" prog in
+      let fresh = Toolchain.Pipeline.compile_flags profile vector prog in
+      let recomputed = Bintuner.Tuner.fitness_of_binaries fresh baseline in
+      Bintuner.Database.lookup run vector = Some recorded
+      && recomputed = recorded)
+
+let tests =
+  [
+    Alcotest.test_case "memo on/off differential" `Slow test_memo_on_off_equal;
+    QCheck_alcotest.to_alcotest prop_memo_matches_fresh_compile;
+    QCheck_alcotest.to_alcotest prop_database_lookup_matches_fresh;
+  ]

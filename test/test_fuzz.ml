@@ -65,6 +65,63 @@ let prop_fuzz_random_flags =
         let bin = Toolchain.Pipeline.compile_flags profile v prog in
         List.map (behaviour_vm bin) inputs = reference)
 
+(* The pooled differential oracle: per fuzzed program, six random
+   repaired flag vectors are compiled and behaviour-checked as one
+   [Parallel.Pool] batch.  Each candidate gets its own RNG stream, split
+   from a master generator {e before} dispatch, so the work is both
+   thread-safe and schedule-independent — the pooled verdicts must equal
+   an inline sequential run using identically derived streams. *)
+let fuzz_candidates ~master_seed prog =
+  let ir = Vir.Lower.lower_program prog in
+  match List.map (behaviour_ir ir) inputs with
+  | exception Vir.Interp.Out_of_fuel -> None
+  | reference ->
+    let master = Util.Rng.create master_seed in
+    let jobs =
+      Array.init 6 (fun i ->
+          let rng = Util.Rng.split master in
+          let profile =
+            if i mod 2 = 0 then Toolchain.Flags.gcc else Toolchain.Flags.llvm
+          in
+          (profile, rng))
+    in
+    let check (profile, rng) =
+      let n = Array.length profile.Toolchain.Flags.flags in
+      let v =
+        Toolchain.Constraints.repair profile rng
+          (Array.init n (fun _ -> Util.Rng.bool rng))
+      in
+      let bin = Toolchain.Pipeline.compile_flags profile v prog in
+      List.map (behaviour_vm bin) inputs = reference
+    in
+    Some (jobs, check)
+
+let test_fuzz_parallel_oracle () =
+  Parallel.Pool.with_pool 4 (fun pool ->
+      List.iter
+        (fun seed ->
+          let prog = Fuzzgen.generate seed in
+          Minic.Sema.check prog;
+          match fuzz_candidates ~master_seed:(seed * 11 + 1) prog with
+          | None -> () (* pathological runtime: skip *)
+          | Some (jobs, check) ->
+            let pooled = Parallel.Pool.map ~chunk_size:1 pool check jobs in
+            Array.iteri
+              (fun i ok ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "seed %d candidate %d" seed i)
+                  true ok)
+              pooled;
+            (* identically derived streams, run inline: the pool must not
+               have perturbed any verdict *)
+            (match fuzz_candidates ~master_seed:(seed * 11 + 1) prog with
+            | None -> Alcotest.fail "reference became non-terminating"
+            | Some (jobs', check') ->
+              Alcotest.(check (array bool))
+                (Printf.sprintf "seed %d pooled = sequential" seed)
+                (Array.map check' jobs') pooled))
+        (List.init 8 (fun i -> (i * 101) + 3)))
+
 let test_fuzz_all_arches () =
   List.iter
     (fun seed ->
@@ -90,5 +147,6 @@ let tests =
   [
     Alcotest.test_case "fuzz presets" `Slow test_fuzz_presets;
     QCheck_alcotest.to_alcotest prop_fuzz_random_flags;
+    Alcotest.test_case "fuzz parallel oracle" `Slow test_fuzz_parallel_oracle;
     Alcotest.test_case "fuzz all arches" `Quick test_fuzz_all_arches;
   ]

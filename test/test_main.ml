@@ -10,6 +10,8 @@ let () =
       ("compiler", Test_compiler.tests);
       ("diffing", Test_diffing.tests);
       ("tuner", Test_tuner.tests);
+      ("parallel", Test_parallel.tests);
+      ("cache", Test_cache.tests);
       ("fuzz", Test_fuzz.tests);
       ("flags", Test_flags.tests);
       ("vm", Test_vm.tests);

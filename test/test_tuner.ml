@@ -16,6 +16,7 @@ let test_ga_onemax () =
       ~ngenes:24 ~seeds:[] ~repair:(fun g -> g)
       ~fitness:(fun g ->
         float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g))
+      ()
   in
   Alcotest.(check bool) "near optimum" true (outcome.best_fitness >= 22.0)
 
@@ -29,6 +30,7 @@ let test_ga_respects_repair () =
         g.(0) <- false;
         g)
       ~fitness:(fun g -> if g.(0) then 100.0 else 1.0)
+      ()
   in
   Alcotest.(check bool) "gene 0 forced off" false outcome.best.(0)
 
@@ -38,7 +40,8 @@ let test_ga_deterministic () =
     (Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params ~termination:quick_term
        ~ngenes:16 ~seeds:[] ~repair:(fun g -> g)
        ~fitness:(fun g ->
-         float_of_int (Hashtbl.hash (Array.to_list g) mod 1000)))
+         float_of_int (Hashtbl.hash (Array.to_list g) mod 1000))
+       ())
       .best_fitness
   in
   Alcotest.(check (float 1e-9)) "same seed same outcome" (run 3) (run 3)
@@ -50,6 +53,7 @@ let test_ga_history_monotone () =
       ~ngenes:12 ~seeds:[] ~repair:(fun g -> g)
       ~fitness:(fun g ->
         float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g))
+      ()
   in
   let rec monotone = function
     | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest

@@ -1,0 +1,38 @@
+#!/bin/sh
+# The repository's CI entry point:
+#
+#   1. `make check`        — build + full test suite (includes the j-differential
+#                            and cache-correctness layers);
+#   2. `make bench-smoke`  — scaled-down Table 1 through the parallel engine;
+#   3. determinism cross-check — the table1 sentinel (an MD5 over every run's
+#      best vector, NCD, iteration count, memo counters and history) must be
+#      byte-identical at -j 1 and -j 2, and the memo must report cache hits.
+#
+# Exits non-zero on any failure.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== ci: build + tests =="
+make check
+
+echo "== ci: bench smoke (table1, quick budget, -j 2) =="
+smoke_log=$(mktemp)
+trap 'rm -f "$smoke_log"' EXIT
+dune exec bench/main.exe -- -quick -j 2 table1 | tee "$smoke_log"
+
+sentinel_j2=$(grep 'table1 determinism sentinel:' "$smoke_log" | awk '{print $NF}')
+[ -n "$sentinel_j2" ] || { echo "ci: FAIL — no determinism sentinel in table1 output" >&2; exit 1; }
+
+memo_hits=$(grep '^compile memo:' "$smoke_log" | awk '{print $3}')
+[ "${memo_hits:-0}" -ge 1 ] || { echo "ci: FAIL — compile memo reported no cache hits" >&2; exit 1; }
+
+echo "== ci: determinism sentinel cross-check (-j 1 vs -j 2) =="
+sentinel_j1=$(dune exec bench/main.exe -- -quick -j 1 table1 \
+  | grep 'table1 determinism sentinel:' | awk '{print $NF}')
+if [ "$sentinel_j1" != "$sentinel_j2" ]; then
+  echo "ci: FAIL — table1 results depend on -j ($sentinel_j1 vs $sentinel_j2)" >&2
+  exit 1
+fi
+
+echo "ci: OK (sentinel $sentinel_j1, $memo_hits memo hits)"
