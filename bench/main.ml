@@ -33,6 +33,20 @@ let bench_termination =
    every [-j] — see the determinism sentinel under table1. *)
 let pool = ref (Parallel.Pool.create 1)
 
+(* [-only NAME]* restricts the evaluation set the sweep drivers (fig5,
+   table1, table3, tables 7/8) iterate over — the CI trace smoke runs
+   fig5 on a single benchmark this way.  Experiments that name specific
+   benchmarks (fig6, fig8, …) are unaffected. *)
+let only : string list ref = ref []
+
+let eval_set () =
+  match !only with
+  | [] -> Corpus.evaluation_set
+  | names ->
+    List.filter (fun b -> List.mem b.Corpus.bname names) Corpus.evaluation_set
+
+let in_eval_set name = List.exists (fun b -> b.Corpus.bname = name) (eval_set ())
+
 let tune_cache : (string * string * Isa.Insn.arch, Bintuner.Tuner.result) Hashtbl.t =
   Hashtbl.create 64
 
@@ -106,7 +120,7 @@ let binhunt a b =
 (* ------------------------------------------------------------------ *)
 
 let fig5_profile profile ~first_bar =
-  pretune (List.map (fun b -> (profile, b)) Corpus.evaluation_set);
+  pretune (List.map (fun b -> (profile, b)) (eval_set ()));
   let series = [ first_bar; "O2 vs O0"; "O3 vs O0"; "BinTuner vs O0"; "BinTuner vs O3" ] in
   let rows =
     List.map
@@ -128,7 +142,7 @@ let fig5_profile profile ~first_bar =
             binhunt tuned_bin o0;
             binhunt tuned_bin o3;
           ] ))
-      Corpus.evaluation_set
+      (eval_set ())
   in
   print_string
     (Util.Render.grouped_bars
@@ -166,17 +180,20 @@ let fig5 () =
   print_string (section "Figure 5(b): GCC 10.2 profile");
   fig5_profile Toolchain.Flags.gcc ~first_bar:"Os vs O0";
   (* the wrong-pair sanity check the paper reports: BinTuner-vs-O0 close
-     to a cross-program comparison *)
-  let cu = Corpus.find "coreutils" and ssl = Corpus.find "openssl" in
-  let gcc = Toolchain.Flags.gcc in
-  let wrong =
-    binhunt (preset_binary gcc "O0" cu) (preset_binary gcc "O0" ssl)
-  in
-  let tuned_cu = (tuned gcc cu).refined_binary in
-  printf
-    "Wrong-pair check: BinHunt(coreutils-BinTuner, coreutils-O0)=%.2f vs BinHunt(coreutils-O0, openssl-O0)=%.2f (paper: 0.77 vs 0.79)\n"
-    (binhunt tuned_cu (preset_binary gcc "O0" cu))
-    wrong
+     to a cross-program comparison.  Needs both programs, so it is
+     skipped when [-only] filters either out. *)
+  if in_eval_set "coreutils" && in_eval_set "openssl" then begin
+    let cu = Corpus.find "coreutils" and ssl = Corpus.find "openssl" in
+    let gcc = Toolchain.Flags.gcc in
+    let wrong =
+      binhunt (preset_binary gcc "O0" cu) (preset_binary gcc "O0" ssl)
+    in
+    let tuned_cu = (tuned gcc cu).refined_binary in
+    printf
+      "Wrong-pair check: BinHunt(coreutils-BinTuner, coreutils-O0)=%.2f vs BinHunt(coreutils-O0, openssl-O0)=%.2f (paper: 0.77 vs 0.79)\n"
+      (binhunt tuned_cu (preset_binary gcc "O0" cu))
+      wrong
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: iterations and wall time                                   *)
@@ -186,12 +203,14 @@ let table1 () =
   print_string (section "Table 1: BinTuner search iterations / running time");
   pretune
     (List.concat_map
-       (fun profile -> List.map (fun b -> (profile, b)) Corpus.evaluation_set)
+       (fun profile -> List.map (fun b -> (profile, b)) (eval_set ()))
        [ Toolchain.Flags.llvm; Toolchain.Flags.gcc ]);
   let group profile suite =
     let benches =
-      List.filter (fun b -> b.Corpus.suite = suite) Corpus.evaluation_set
+      List.filter (fun b -> b.Corpus.suite = suite) (eval_set ())
     in
+    if benches = [] then "-"
+    else
     let rs = List.map (fun b -> tuned profile b) benches in
     let iters = List.map (fun r -> float_of_int r.Bintuner.Tuner.iterations) rs in
     let secs = List.map (fun r -> r.Bintuner.Tuner.wall_seconds) rs in
@@ -250,7 +269,7 @@ let table1 () =
                   (List.map
                      (fun (i, f) -> Printf.sprintf "%d:%.6f" i f)
                      r.history))))
-        Corpus.evaluation_set)
+        (eval_set ()))
     [ Toolchain.Flags.llvm; Toolchain.Flags.gcc ];
   printf "compile memo: %d of %d compile requests served from cache\n" !hits
     !requests;
@@ -461,7 +480,7 @@ let table3 () =
   print_string (section "Table 3: average execution speedup vs -O0 (dynamic instructions)");
   pretune
     (List.concat_map
-       (fun profile -> List.map (fun b -> (profile, b)) Corpus.evaluation_set)
+       (fun profile -> List.map (fun b -> (profile, b)) (eval_set ()))
        [ Toolchain.Flags.gcc; Toolchain.Flags.llvm ]);
   let speedup bin0 bin bench =
     let steps which =
@@ -485,9 +504,11 @@ let table3 () =
     List.map
       (fun (suite, label) ->
         let benches =
-          List.filter (fun b -> b.Corpus.suite = suite) Corpus.evaluation_set
+          List.filter (fun b -> b.Corpus.suite = suite) (eval_set ())
         in
         let cell profile setting =
+          if benches = [] then "-"
+          else
           let vals =
             List.map
               (fun bench ->
@@ -627,7 +648,7 @@ let fig10 () =
 (* ------------------------------------------------------------------ *)
 
 let table78_profile profile ~first_bar =
-  pretune (List.map (fun b -> (profile, b)) Corpus.evaluation_set);
+  pretune (List.map (fun b -> (profile, b)) (eval_set ()));
   let rows =
     List.map
       (fun bench ->
@@ -645,7 +666,7 @@ let table78_profile profile ~first_bar =
           cell (preset_binary profile "O3" bench);
           cell (tuned profile bench).refined_binary;
         ])
-      Corpus.evaluation_set
+      (eval_set ())
   in
   print_string
     (Util.Render.table
@@ -983,38 +1004,67 @@ let experiments =
 
 let usage () =
   printf
-    "usage: main.exe [-j N] [-quick] [experiment...]\n\
-     \  -j N     run tuning jobs and GA generations on N domains\n\
-     \           (default: the machine's recommended domain count;\n\
-     \           results are bit-identical at every N)\n\
-     \  -quick   shrink the GA budget for smoke runs\n\
+    "usage: main.exe [-j N] [-quick] [-trace FILE] [-profile] [-only NAME]* [experiment...]\n\
+     \  -j N         run tuning jobs and GA generations on N domains\n\
+     \               (default: the machine's recommended domain count;\n\
+     \               results are bit-identical at every N)\n\
+     \  -quick       shrink the GA budget for smoke runs\n\
+     \  -trace FILE  stream telemetry events (compile passes, GA\n\
+     \               generations, pool chunks, fitness/BinHunt spans)\n\
+     \               to FILE as ndjson\n\
+     \  -profile     print an aggregated telemetry summary at exit,\n\
+     \               including the paper's §4.2 compile/NCD/BinHunt\n\
+     \               cost split\n\
+     \  -only NAME   restrict the sweep experiments (fig5, table1,\n\
+     \               table3, table78) to benchmark NAME (repeatable)\n\
      known experiments: %s\n"
     (String.concat " " (List.map fst experiments))
 
 let () =
-  let rec parse args (j, quick, names) =
+  let rec parse args acc =
+    let j, quick, trace, profile, names = acc in
     match args with
-    | [] -> (j, quick, List.rev names)
+    | [] -> (j, quick, trace, profile, List.rev names)
     | "-j" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some n when n >= 1 -> parse rest (n, quick, names)
+      | Some n when n >= 1 -> parse rest (n, quick, trace, profile, names)
       | _ ->
         usage ();
         exit 2)
-    | "-quick" :: rest -> parse rest (j, true, names)
+    | "-quick" :: rest -> parse rest (j, true, trace, profile, names)
+    | ("-trace" | "--trace") :: file :: rest ->
+      parse rest (j, quick, Some file, profile, names)
+    | ("-profile" | "--profile") :: rest ->
+      parse rest (j, quick, trace, true, names)
+    | ("-only" | "--only") :: name :: rest ->
+      only := name :: !only;
+      parse rest (j, quick, trace, profile, names)
     | ("-h" | "-help" | "--help") :: _ ->
       usage ();
       exit 0
-    | name :: rest -> parse rest (j, quick, name :: names)
+    | name :: rest -> parse rest (j, quick, trace, profile, name :: names)
   in
-  let j, quick, names =
+  let j, quick, trace, profile, names =
     parse
       (List.tl (Array.to_list Sys.argv))
-      (Parallel.Pool.default_size (), false, [])
+      (Parallel.Pool.default_size (), false, None, false, [])
   in
   if quick then
     bench_termination :=
       { !bench_termination with max_evaluations = 60; plateau_window = 40 };
+  (* install telemetry before the pool spawns its domains so worker spans
+     carry the right instance.  With neither flag the global stays the
+     no-op [Telemetry.null] and tracing costs nothing. *)
+  let trace_channel =
+    match trace with
+    | Some file -> Some (open_out file)
+    | None -> None
+  in
+  if trace_channel <> None || profile then
+    Telemetry.set_global
+      (Telemetry.create
+         ?sink:(Option.map (fun oc -> Telemetry.Channel oc) trace_channel)
+         ());
   pool := Parallel.Pool.create j;
   printf "bench: %d worker domain(s)%s\n" j (if quick then ", quick budget" else "");
   let selected =
@@ -1032,4 +1082,7 @@ let () =
           (String.concat " " (List.map fst experiments)))
     selected;
   printf "\nTotal bench time: %.1fs wall\n" (Unix.gettimeofday () -. t0);
-  Parallel.Pool.shutdown !pool
+  Parallel.Pool.shutdown !pool;
+  if profile then print_string (Telemetry.summary (Telemetry.global ()));
+  Telemetry.flush (Telemetry.global ());
+  Option.iter close_out trace_channel

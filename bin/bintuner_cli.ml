@@ -91,13 +91,33 @@ let tune_cmd =
     Arg.(value & opt (some string) None
          & info [ "db" ] ~doc:"Append the run to this tuning-database file.")
   in
-  let run bench source profile arch iterations jobs db =
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:
+               "Stream telemetry events (compile passes, GA generations, pool \
+                chunks, fitness/BinHunt spans) to this file as ndjson.")
+  in
+  let prof =
+    Arg.(value & flag
+         & info [ "perf-profile" ]
+             ~doc:
+               "Print an aggregated telemetry summary after tuning, including \
+                the compile/NCD/BinHunt cost split.")
+  in
+  let run bench source profile arch iterations jobs db trace prof =
     let _, b = load_program ~bench ~source in
     let p = profile_of profile in
     let termination =
       { Ga.Genetic.default_termination with max_evaluations = iterations }
     in
     let j = if jobs <= 0 then Parallel.Pool.default_size () else jobs in
+    let trace_channel = Option.map open_out trace in
+    if trace_channel <> None || prof then
+      Telemetry.set_global
+        (Telemetry.create
+           ?sink:(Option.map (fun oc -> Telemetry.Channel oc) trace_channel)
+           ());
     let r =
       Parallel.Pool.with_pool j (fun pool ->
           Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination ~pool ~profile:p
@@ -110,6 +130,9 @@ let tune_cmd =
     List.iter (fun (n, v) -> Printf.printf "  %-3s fitness %.3f\n" n v) r.preset_ncd;
     Printf.printf "flags: %s\n"
       (String.concat " " (Bintuner.Tuner.flags_enabled p r.best_vector));
+    if prof then print_string (Telemetry.summary (Telemetry.global ()));
+    Telemetry.flush (Telemetry.global ());
+    Option.iter close_out trace_channel;
     match db with
     | None -> ()
     | Some path ->
@@ -119,7 +142,7 @@ let tune_cmd =
       Printf.printf "run appended to %s\n" path
   in
   Cmd.v (Cmd.info "tune" ~doc:"Run BinTuner's iterative compilation on a benchmark.")
-    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ iterations $ jobs $ db)
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ iterations $ jobs $ db $ trace $ prof)
 
 let diff_cmd =
   let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in

@@ -28,6 +28,43 @@ let vector_of_string s =
       | '0' -> false
       | c -> failwith (Printf.sprintf "Database: bad vector bit %C" c))
 
+(* The on-disk format is space- and comma-delimited, so names containing
+   those separators (or newlines) are percent-escaped on save and decoded
+   on load — a benchmark called "my bench" must round-trip, not corrupt
+   the parse of every later field. *)
+let escape_name s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' | ' ' | ',' | '\n' | '\r' ->
+        Buffer.add_string b (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape_name s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> failwith (Printf.sprintf "Database: bad escape digit %C" c)
+  in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n ->
+      Buffer.add_char b (Char.chr ((16 * hex s.[!i + 1]) + hex s.[!i + 2]));
+      i := !i + 2
+    | '%' -> failwith "Database: truncated escape sequence"
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
 let save path runs =
   let oc = open_out path in
   Fun.protect
@@ -35,8 +72,10 @@ let save path runs =
     (fun () ->
       List.iter
         (fun r ->
-          Printf.fprintf oc "run %s %s %s\n" r.benchmark r.profile r.arch;
-          Printf.fprintf oc "flags %s\n" (String.concat "," r.flag_names);
+          Printf.fprintf oc "run %s %s %s\n" (escape_name r.benchmark)
+            (escape_name r.profile) (escape_name r.arch);
+          Printf.fprintf oc "flags %s\n"
+            (String.concat "," (List.map escape_name r.flag_names));
           Printf.fprintf oc "best %s\n" (vector_to_string r.best);
           List.iter
             (fun (v, f) ->
@@ -60,9 +99,9 @@ let load path =
              current :=
                Some
                  {
-                   benchmark;
-                   profile;
-                   arch;
+                   benchmark = unescape_name benchmark;
+                   profile = unescape_name profile;
+                   arch = unescape_name arch;
                    flag_names = [];
                    entries = [];
                    best = [||];
@@ -71,7 +110,17 @@ let load path =
              match !current with
              | Some r ->
                current :=
-                 Some { r with flag_names = String.split_on_char ',' names }
+                 Some
+                   {
+                     r with
+                     flag_names =
+                       (* "flags " with nothing after it is the empty
+                          universe, not one empty-named flag *)
+                       (if names = "" then []
+                        else
+                          List.map unescape_name
+                            (String.split_on_char ',' names));
+                   }
              | None -> failwith "Database: flags before run")
            | [ "best"; v ] -> (
              match !current with
@@ -90,6 +139,18 @@ let load path =
            | [ "end" ] -> (
              match !current with
              | Some r ->
+               (* a vector whose length disagrees with the flag universe
+                  would silently mis-index flags downstream: reject here *)
+               let nflags = List.length r.flag_names in
+               let check_len what v =
+                 if Array.length v <> nflags then
+                   failwith
+                     (Printf.sprintf
+                        "Database: %s vector length %d <> %d flags in run %s/%s"
+                        what (Array.length v) nflags r.benchmark r.profile)
+               in
+               check_len "best" r.best;
+               List.iter (fun (v, _) -> check_len "entry" v) r.entries;
                runs := { r with entries = List.rev r.entries } :: !runs;
                current := None
              | None -> failwith "Database: end before run")

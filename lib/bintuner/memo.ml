@@ -32,6 +32,7 @@ let find_or_compile t ~key compile =
     Mutex.lock t.mutex;
     t.misses <- t.misses + 1;
     Mutex.unlock t.mutex;
+    Telemetry.add_count "memo.miss";
     compile ()
   end
   else begin
@@ -40,10 +41,12 @@ let find_or_compile t ~key compile =
     | Some bin ->
       t.hits <- t.hits + 1;
       Mutex.unlock t.mutex;
+      Telemetry.add_count "memo.hit";
       bin
     | None ->
       t.misses <- t.misses + 1;
       Mutex.unlock t.mutex;
+      Telemetry.add_count "memo.miss";
       (* compile outside the lock: workers memoizing different keys must
          not serialize on each other's compilations *)
       let bin = compile () in

@@ -74,7 +74,9 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
   let compile vector =
     Memo.find_or_compile memo
       ~key:(Memo.key ~profile:profile.profile_name ~arch vector)
-      (fun () -> Toolchain.Pipeline.compile_flags profile ~arch vector ast)
+      (fun () ->
+        Telemetry.with_span "tuner.compile" (fun () ->
+            Toolchain.Pipeline.compile_flags profile ~arch vector ast))
   in
   (* One generation's worth of candidates at a time: compile + NCD run in
      parallel across the pool (each is a pure function of its vector),
@@ -84,8 +86,10 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
     let ncds =
       Parallel.Pool.map pool
         (fun v ->
-          Compress.Ncd.distance_cached csize (code_stream (compile v))
-            baseline_stream)
+          let bin = compile v in
+          Telemetry.with_span "tuner.ncd" (fun () ->
+              Compress.Ncd.distance_cached csize (code_stream bin)
+                baseline_stream))
         vectors
     in
     Array.iteri
@@ -160,7 +164,11 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
         Parallel.Pool.map_list ~chunk_size:1 pool
           (fun e ->
             let bin = compile e.vector in
-            (Diffing.Binhunt.diff_score bin baseline, e.vector, bin))
+            let score =
+              Telemetry.with_span "tuner.binhunt" (fun () ->
+                  Diffing.Binhunt.diff_score bin baseline)
+            in
+            (score, e.vector, bin))
           cands
       in
       let best_score, v, b =

@@ -71,7 +71,13 @@ module Decoder = struct
       t.pos <- t.pos + 1;
       b
     end
-    else 0
+    else
+      (* A valid stream is consumed exactly (the encoder's 4 flush bytes
+         cover the decoder's lookahead), so running dry means the input
+         is truncated or the header length lies.  Failing here stops the
+         decoder from synthesizing unbounded output out of phantom zero
+         bytes. *)
+      invalid_arg "Lz.decompress: truncated input"
 
   let create src start =
     let t = { src; pos = start; low = 0; code = 0; range = mask32 } in

@@ -94,9 +94,13 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
       population;
     let budget = max 0 (termination.max_evaluations - st.evals) in
     let pending = List.filteri (fun i _ -> i < budget) (List.rev !pending) in
+    Telemetry.add_count ~by:(List.length pending) "ga.evaluations";
+    Telemetry.add_count
+      ~by:(Array.length population - List.length pending)
+      "ga.cache_hits";
     if pending <> [] then begin
       let arr = Array.of_list pending in
-      let fs = batch arr in
+      let fs = Telemetry.with_span "ga.evaluate_batch" (fun () -> batch arr) in
       Array.iteri (fun i g -> record g fs.(i)) arr
     end;
     Array.iteri
@@ -124,7 +128,9 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
       in
       match oldest with
       | Some (_, old_best) when old_best > 0.0 ->
-        (st.best_fitness -. old_best) /. old_best < termination.plateau_epsilon
+        let gain = (st.best_fitness -. old_best) /. old_best in
+        Telemetry.set_gauge "ga.plateau_gain" gain;
+        gain < termination.plateau_epsilon
       | Some (_, old_best) -> st.best_fitness <= old_best
       | None -> false
     end
@@ -134,15 +140,16 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
   in
   let population =
     let seeds = List.map (fun s -> repair (Array.copy s)) seeds in
+    (* never discard seed vectors: the population is the larger of the
+       nominal size (floor 2, so tournaments have something to pick
+       from) and the seed count, padded with random genomes *)
+    let target = max (max params.population_size 2) (List.length seeds) in
     let extra =
       List.init
-        (max 0 (params.population_size - List.length seeds))
+        (max 0 (target - List.length seeds))
         (fun _ -> repair (random_genome ()))
     in
-    let all = seeds @ extra in
-    (* keep the population at its nominal size even with many seeds *)
-    Array.of_list
-      (List.filteri (fun i _ -> i < max params.population_size 2) all)
+    Array.of_list (seeds @ extra)
   in
   let scores = Array.make (Array.length population) neg_infinity in
   evaluate_generation population scores;
@@ -181,30 +188,42 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
   let continue_ () =
     st.evals < termination.max_evaluations && not (plateaued ())
   in
+  let generation = ref 0 in
   while continue_ () do
-    (* build next generation *)
-    let ranked =
-      let idx = Array.init (Array.length population) (fun i -> i) in
-      Array.sort (fun i j -> compare scores.(j) scores.(i)) idx;
-      idx
-    in
-    let next = ref [] in
-    for e = 0 to min params.elitism (Array.length population) - 1 do
-      next := Array.copy population.(ranked.(e)) :: !next
-    done;
-    while List.length !next < params.population_size do
-      let i = tournament () and j = tournament () in
-      let child =
-        if Util.Rng.float rng 1.0 < params.crossover_rate then
-          crossover population.(i) population.(j) scores.(i) scores.(j)
-        else Array.copy population.(if scores.(i) >= scores.(j) then i else j)
-      in
-      let child = repair (mutate child) in
-      next := child :: !next
-    done;
-    let np = Array.of_list (List.rev !next) in
-    Array.blit np 0 population 0 (Array.length population);
-    evaluate_generation population scores
+    incr generation;
+    Telemetry.with_span
+      ~attrs:[ ("generation", string_of_int !generation) ]
+      "ga.generation"
+      (fun () ->
+        (* build next generation, exactly as large as the current one so
+           the blit below neither drops children nor reads past [np] *)
+        let psize = Array.length population in
+        let ranked =
+          let idx = Array.init psize (fun i -> i) in
+          Array.sort (fun i j -> compare scores.(j) scores.(i)) idx;
+          idx
+        in
+        let next = ref [] in
+        for e = 0 to min params.elitism psize - 1 do
+          next := Array.copy population.(ranked.(e)) :: !next
+        done;
+        while List.length !next < psize do
+          let i = tournament () and j = tournament () in
+          let child =
+            if Util.Rng.float rng 1.0 < params.crossover_rate then
+              crossover population.(i) population.(j) scores.(i) scores.(j)
+            else
+              Array.copy population.(if scores.(i) >= scores.(j) then i else j)
+          in
+          let child = repair (mutate child) in
+          next := child :: !next
+        done;
+        let np = Array.of_list (List.rev !next) in
+        assert (Array.length np = psize);
+        Array.blit np 0 population 0 psize;
+        evaluate_generation population scores);
+    Telemetry.set_gauge "ga.best_fitness" st.best_fitness;
+    Telemetry.set_gauge "ga.evaluations" (float_of_int st.evals)
   done;
   {
     best = st.best;

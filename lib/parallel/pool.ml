@@ -1,9 +1,10 @@
 (* A chunked fork-join pool over OCaml 5 domains.
 
    Workers block on [cv] waiting for tasks; [map] enqueues one task per
-   contiguous chunk and waits on a per-batch latch.  Results and
-   exceptions land in per-index slots, so nothing about the outcome
-   depends on which worker ran which chunk or in what order. *)
+   contiguous chunk, helps drain the queue from the submitting domain,
+   then waits on a per-batch latch for chunks still running elsewhere.
+   Results and exceptions land in per-index slots, so nothing about the
+   outcome depends on which worker ran which chunk or in what order. *)
 
 type t = {
   size : int;
@@ -108,21 +109,42 @@ let map ?chunk_size pool f xs =
       { l_mutex = Mutex.create (); l_cv = Condition.create (); remaining = nchunks }
     in
     let run_chunk k () =
-      let lo = k * chunk in
-      let hi = min n (lo + chunk) in
-      for i = lo to hi - 1 do
-        match f xs.(i) with
-        | y -> results.(i) <- Some y
-        | exception e -> errors.(i) <- Some e
-      done;
+      Telemetry.with_span "pool.chunk" (fun () ->
+          let lo = k * chunk in
+          let hi = min n (lo + chunk) in
+          for i = lo to hi - 1 do
+            match f xs.(i) with
+            | y -> results.(i) <- Some y
+            | exception e -> errors.(i) <- Some e
+          done);
       latch_done latch
     in
     Mutex.lock pool.mutex;
     for k = 0 to nchunks - 1 do
       Queue.add (run_chunk k) pool.tasks
     done;
+    Telemetry.add_count "pool.batches";
+    Telemetry.add_count ~by:nchunks "pool.chunks";
+    Telemetry.set_gauge "pool.queue_depth"
+      (float_of_int (Queue.length pool.tasks));
     Condition.broadcast pool.cv;
     Mutex.unlock pool.mutex;
+    (* The submitting domain helps drain the queue instead of blocking on
+       the latch: with [size - 1] spawned workers, this is what makes a
+       [-j N] pool actually N lanes wide.  Helping may also pick up
+       chunks of a concurrent batch — that is still useful work, and
+       results land in per-index slots either way. *)
+    let rec help () =
+      Mutex.lock pool.mutex;
+      let task = Queue.take_opt pool.tasks in
+      Mutex.unlock pool.mutex;
+      match task with
+      | Some task ->
+        task ();
+        help ()
+      | None -> ()
+    in
+    help ();
     latch_wait latch;
     (* deterministic propagation: lowest failing index wins *)
     Array.iter (function Some e -> raise e | None -> ()) errors;

@@ -27,10 +27,12 @@
 type t
 
 val create : int -> t
-(** [create n] starts a pool of [n] workers ([n - 1] spawned domains plus
-    the submitting caller's own chunk is {e not} used; the caller only
-    waits).  [n <= 1] creates an inline pool with no domains.  Pools are
-    lightweight; idle workers block on a condition variable. *)
+(** [create n] starts a pool of [n] parallel lanes: [n - 1] spawned
+    domains plus the submitting caller itself, which helps execute
+    queued chunks while its batch is in flight (so [-j n] delivers
+    [n]-way throughput, not [n - 1]).  [n <= 1] creates an inline pool
+    with no domains.  Pools are lightweight; idle workers block on a
+    condition variable. *)
 
 val size : t -> int
 (** Number of parallel lanes ([n] as passed to {!create}, at least 1). *)

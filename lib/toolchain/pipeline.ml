@@ -2,79 +2,114 @@ module AO = Passes.Ast_opt
 module IO = Passes.Ir_opt
 module C = Passes.Cleanup
 
+(* [tpass] times one whole-program AST pass; [fpass] times one IR pass
+   over one function.  Both are plain pass-throughs when the global
+   telemetry instance is disabled (the default). *)
+let tpass name f ast = Telemetry.with_span ("pass." ^ name) (fun () -> f ast)
+
+let fpass name f func =
+  Telemetry.with_span ("pass." ^ name) (fun () -> f func)
+
 let apply_passes (cfg : Config.t) (ast : Minic.Ast.program) : Vir.Ir.program =
   (* --- AST-level, in a fixed canonical order --- *)
-  let ast = if cfg.instrument then AO.instrument ast else ast in
+  let ast = if cfg.instrument then tpass "instrument" AO.instrument ast else ast in
   let needs_norm =
     cfg.inline_small || cfg.inline_big || cfg.expand_builtins
   in
-  let ast = if needs_norm then AO.normalize_calls ast else ast in
-  let ast = if cfg.expand_builtins then AO.expand_builtins ast else ast in
+  let ast =
+    if needs_norm then tpass "normalize_calls" AO.normalize_calls ast else ast
+  in
+  let ast =
+    if cfg.expand_builtins then tpass "expand_builtins" AO.expand_builtins ast
+    else ast
+  in
   let ast =
     if cfg.inline_big then
-      AO.inline ~max_size:cfg.inline_big_threshold ~rounds:cfg.inline_rounds
+      tpass "inline"
+        (AO.inline ~max_size:cfg.inline_big_threshold
+           ~rounds:cfg.inline_rounds)
         ast
     else if cfg.inline_small then
-      AO.inline ~max_size:cfg.inline_small_threshold
-        ~rounds:cfg.inline_rounds ast
-    else ast
-  in
-  let ast = if cfg.unswitch then AO.unswitch ast else ast in
-  let ast = if cfg.distribute then AO.distribute ast else ast in
-  let ast = if cfg.unroll_and_jam then AO.unroll_and_jam ast else ast in
-  let ast =
-    if cfg.unroll then
-      AO.unroll ~factor:cfg.unroll_factor ~full_limit:cfg.full_unroll_limit
+      tpass "inline"
+        (AO.inline ~max_size:cfg.inline_small_threshold
+           ~rounds:cfg.inline_rounds)
         ast
     else ast
   in
-  let ast = if cfg.peel then AO.peel ast else ast in
+  let ast = if cfg.unswitch then tpass "unswitch" AO.unswitch ast else ast in
+  let ast = if cfg.distribute then tpass "distribute" AO.distribute ast else ast in
+  let ast =
+    if cfg.unroll_and_jam then tpass "unroll_and_jam" AO.unroll_and_jam ast
+    else ast
+  in
+  let ast =
+    if cfg.unroll then
+      tpass "unroll"
+        (AO.unroll ~factor:cfg.unroll_factor ~full_limit:cfg.full_unroll_limit)
+        ast
+    else ast
+  in
+  let ast = if cfg.peel then tpass "peel" AO.peel ast else ast in
   (* --- lowering --- *)
   let ir =
-    Vir.Lower.lower_program
-      ~options:
-        {
-          Vir.Lower.merge_conditionals = cfg.merge_conditionals;
-          vectorize = cfg.vectorize;
-        }
-      ast
+    Telemetry.with_span "pass.lower" (fun () ->
+        Vir.Lower.lower_program
+          ~options:
+            {
+              Vir.Lower.merge_conditionals = cfg.merge_conditionals;
+              vectorize = cfg.vectorize;
+            }
+          ast)
   in
   (* --- IR-level --- *)
   List.iter
     (fun f ->
       (* even -O0 emits structurally merged straight-line code: trivial
          jump chains from lowering never survive a real compiler *)
-      C.simplify_cfg f;
-      if cfg.baseline then C.run_baseline f;
+      fpass "simplify_cfg" C.simplify_cfg f;
+      if cfg.baseline then fpass "baseline" C.run_baseline f;
       if cfg.strength_reduce then begin
-        IO.strength_reduce f;
+        fpass "strength_reduce" IO.strength_reduce f;
         if cfg.baseline then begin
-          C.lvn f;
-          C.dce f
+          fpass "lvn" C.lvn f;
+          fpass "dce" C.dce f
         end
       end;
-      if cfg.licm then IO.licm f;
-      if cfg.if_convert then IO.if_convert f;
-      if cfg.slp then IO.slp_vectorize f;
+      if cfg.licm then fpass "licm" IO.licm f;
+      if cfg.if_convert then fpass "if_convert" IO.if_convert f;
+      if cfg.slp then fpass "slp_vectorize" IO.slp_vectorize f;
       if cfg.extra_lvn then begin
-        C.lvn f;
-        C.dce f
+        fpass "lvn" C.lvn f;
+        fpass "dce" C.dce f
       end;
-      if cfg.tail_call then IO.tail_call f;
-      if cfg.branch_count_reg then IO.branch_count_reg f;
-      if cfg.reorder_blocks then IO.reorder_blocks f;
-      if cfg.partition then IO.partition_blocks f;
-      if cfg.if_convert_late then IO.if_convert f;
-      if cfg.late_cleanup && cfg.baseline then C.run_baseline f)
+      if cfg.tail_call then fpass "tail_call" IO.tail_call f;
+      if cfg.branch_count_reg then fpass "branch_count_reg" IO.branch_count_reg f;
+      if cfg.reorder_blocks then fpass "reorder_blocks" IO.reorder_blocks f;
+      if cfg.partition then fpass "partition" IO.partition_blocks f;
+      if cfg.if_convert_late then fpass "if_convert_late" IO.if_convert f;
+      if cfg.late_cleanup && cfg.baseline then
+        fpass "late_cleanup" C.run_baseline f)
     ir.funcs;
-  if cfg.reorder_functions then IO.reorder_functions ir;
+  if cfg.reorder_functions then
+    Telemetry.with_span "pass.reorder_functions" (fun () ->
+        IO.reorder_functions ir);
   ir
 
 let compile ?(config = Config.o0) ~arch ~profile ~opt_label ast =
-  let ir = apply_passes config ast in
-  Codegen.Emit.compile_program
-    ~options:(Config.codegen_options config)
-    ~arch ~profile ~opt_label ir
+  Telemetry.with_span
+    ~attrs:
+      [
+        ("profile", profile);
+        ("arch", Isa.Insn.arch_name arch);
+        ("opt", opt_label);
+      ]
+    "compile"
+    (fun () ->
+      let ir = apply_passes config ast in
+      Telemetry.with_span "pass.codegen" (fun () ->
+          Codegen.Emit.compile_program
+            ~options:(Config.codegen_options config)
+            ~arch ~profile ~opt_label ir))
 
 let compile_flags p ?(arch = Isa.Insn.X86_64) vector ast =
   let config = Flags.resolve p vector in

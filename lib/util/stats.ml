@@ -68,6 +68,8 @@ let cdf xs =
   end
 
 let percentile xs p =
+  (* out-of-range ranks would index outside the array; NaN clamps to 0 *)
+  let p = if p >= 0.0 then min p 1.0 else 0.0 in
   match sorted xs with
   | [] -> 0.0
   | s ->

@@ -26,4 +26,6 @@ val cdf : float list -> (float * float) list
     pairs, one per distinct value. *)
 
 val percentile : float list -> float -> float
-(** [percentile xs p] with [p] in [\[0,1\]], linear interpolation. *)
+(** [percentile xs p] with [p] in [\[0,1\]], linear interpolation.
+    Out-of-range [p] (including NaN) is clamped to the nearest bound
+    rather than indexing outside the sample. *)

@@ -47,6 +47,34 @@ let prop_roundtrip_structured =
       in
       roundtrip s)
 
+let expect_invalid label f =
+  match f () with
+  | (_ : string) -> Alcotest.fail (label ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let test_decompress_truncated () =
+  (* the range decoder used to synthesize phantom zero bytes once the
+     real input ran out, so a chopped stream quietly decoded to junk
+     instead of failing *)
+  let packed = Compress.Lz.compress "the quick brown fox jumps over the lazy dog" in
+  expect_invalid "empty" (fun () -> Compress.Lz.decompress "");
+  expect_invalid "header only" (fun () ->
+      Compress.Lz.decompress (String.sub packed 0 4));
+  expect_invalid "chopped payload" (fun () ->
+      Compress.Lz.decompress (String.sub packed 0 (4 + ((String.length packed - 4) / 2))))
+
+let test_decompress_oversized_header () =
+  (* an output length larger than the coded payload supports must fail
+     fast, not invent bytes that were never encoded *)
+  let s = String.concat "" (List.init 30 (fun i -> Printf.sprintf "word%d " i)) in
+  let packed = Compress.Lz.compress s in
+  let lied =
+    let n = String.length s + 4096 in
+    String.init 4 (fun i -> Char.chr ((n lsr (8 * i)) land 0xFF))
+    ^ String.sub packed 4 (String.length packed - 4)
+  in
+  expect_invalid "oversized header" (fun () -> Compress.Lz.decompress lied)
+
 let test_ncd_identity () =
   let s = String.concat "" (List.init 50 (fun i -> string_of_int (i * i))) in
   Alcotest.(check bool) "ncd(x,x) small" true (Compress.Ncd.distance s s < 0.2)
@@ -82,6 +110,9 @@ let tests =
     Alcotest.test_case "random incompressible" `Quick test_random_incompressible;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_roundtrip_structured;
+    Alcotest.test_case "decompress truncated" `Quick test_decompress_truncated;
+    Alcotest.test_case "decompress oversized header" `Quick
+      test_decompress_oversized_header;
     Alcotest.test_case "ncd identity" `Quick test_ncd_identity;
     Alcotest.test_case "ncd unrelated" `Quick test_ncd_unrelated;
     Alcotest.test_case "ncd ordering" `Quick test_ncd_partial_overlap_ordering;

@@ -11,6 +11,7 @@ let () =
       ("diffing", Test_diffing.tests);
       ("tuner", Test_tuner.tests);
       ("parallel", Test_parallel.tests);
+      ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);
       ("fuzz", Test_fuzz.tests);
       ("flags", Test_flags.tests);

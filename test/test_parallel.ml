@@ -107,6 +107,36 @@ let test_pool_sequential_degenerate () =
     "shutdown pool runs inline" (Array.map succ xs)
     (Parallel.Pool.map p4 succ xs)
 
+let test_pool_submitter_helps () =
+  (* A size-2 pool spawns exactly one worker domain.  Two chunks that
+     rendezvous on an atomic can only both make progress if the
+     submitting domain helps drain the queue instead of blocking on the
+     batch latch: the regression this pins down had the submitter parked
+     in [latch_wait] while the lone worker ran the chunks one at a time,
+     so the first chunk's spin-wait below never completed. *)
+  Parallel.Pool.with_pool 2 (fun pool ->
+      let started = Atomic.make 0 in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      let results =
+        Parallel.Pool.map ~chunk_size:1 pool
+          (fun i ->
+            Atomic.incr started;
+            let rec wait () =
+              if Atomic.get started >= 2 then true
+              else if Unix.gettimeofday () > deadline then false
+              else begin
+                Domain.cpu_relax ();
+                wait ()
+              end
+            in
+            (i, wait ()))
+          [| 0; 1 |]
+      in
+      Alcotest.(check (array (pair int bool)))
+        "both chunks ran concurrently"
+        [| (0, true); (1, true) |]
+        results)
+
 (* --- the determinism differential --- *)
 
 let diff_term =
@@ -193,6 +223,7 @@ let tests =
     Alcotest.test_case "pool nested map" `Quick test_pool_nested_map_inlines;
     Alcotest.test_case "pool map_reduce" `Quick test_pool_map_reduce;
     Alcotest.test_case "pool degenerate" `Quick test_pool_sequential_degenerate;
+    Alcotest.test_case "pool submitter helps" `Quick test_pool_submitter_helps;
     Alcotest.test_case "tune j-independent" `Slow test_tune_j_independent;
     Alcotest.test_case "tune fan-out j-independent" `Slow
       test_tune_fanout_j_independent;

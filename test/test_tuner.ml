@@ -77,6 +77,33 @@ let test_strategies_on_onemax () =
   Alcotest.(check bool) "anneal near optimum" true
     (run Ga.Strategies.anneal >= 13.0)
 
+let test_ga_keeps_all_seeds () =
+  (* population sizing regression: with more seed vectors than
+     [population_size], the initial population used to be truncated to
+     the nominal size, silently discarding later seeds.  Plant the only
+     high-fitness genome as the *last* seed with a budget too small for
+     the search to rediscover it: the GA must still evaluate it. *)
+  let ngenes = 48 in
+  let magic = Array.init ngenes (fun i -> i mod 2 = 0) in
+  let seeds =
+    List.init 4 (fun k ->
+        Array.init ngenes (fun i -> i = k) (* four distinct low genomes *))
+    @ [ Array.copy magic ]
+  in
+  let rng = Util.Rng.create 5 in
+  let outcome =
+    Ga.Genetic.run ~rng
+      ~params:{ Ga.Genetic.default_params with population_size = 2 }
+      ~termination:
+        { Ga.Genetic.max_evaluations = 8; plateau_window = 1000; plateau_epsilon = 0.0 }
+      ~ngenes ~seeds
+      ~repair:(fun g -> g)
+      ~fitness:(fun g -> if g = magic then 1000.0 else 0.0)
+      ()
+  in
+  Alcotest.(check (float 1e-9)) "last seed evaluated" 1000.0 outcome.best_fitness;
+  Alcotest.(check bool) "all five seeds scored" true (outcome.evaluations >= 5)
+
 let test_strategies_respect_budget () =
   let count = ref 0 in
   let fitness g =
@@ -168,6 +195,89 @@ let test_database_flag_frequency () =
     | _ -> true
   in
   Alcotest.(check bool) "sorted" true (sorted freqs)
+
+let save_load runs =
+  let path = Filename.temp_file "bintuner" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bintuner.Database.save path runs;
+      Bintuner.Database.load path)
+
+let test_database_escaped_names () =
+  (* separator characters in names used to corrupt the line parse: a
+     space split the "run" header into too many fields and a comma split
+     one flag name into two *)
+  let run =
+    {
+      Bintuner.Database.benchmark = "my bench, tuned (v2)";
+      profile = "gcc 10.2";
+      arch = "x86-64";
+      flag_names = [ "-funroll loops"; "100% weird,name"; "plain" ];
+      entries = [ ([| true; false; true |], 0.25) ];
+      best = [| false; true; false |];
+    }
+  in
+  match save_load [ run ] with
+  | [ l ] ->
+    Alcotest.(check string) "benchmark" run.benchmark l.Bintuner.Database.benchmark;
+    Alcotest.(check string) "profile" run.profile l.profile;
+    Alcotest.(check (list string)) "flag names" run.flag_names l.flag_names;
+    Alcotest.(check bool) "entries" true (l.entries = run.entries);
+    Alcotest.(check bool) "best" true (l.best = run.best)
+  | l -> Alcotest.fail (Printf.sprintf "expected 1 run, got %d" (List.length l))
+
+let test_database_rejects_bad_lengths () =
+  (* vectors whose length disagrees with the flag universe used to load
+     silently and crash later consumers (lookup, flag_frequency) *)
+  let run best entries =
+    {
+      Bintuner.Database.benchmark = "b";
+      profile = "p";
+      arch = "a";
+      flag_names = [ "f1"; "f2" ];
+      entries;
+      best;
+    }
+  in
+  let expect_failure label runs =
+    match save_load runs with
+    | _ -> Alcotest.fail (label ^ ": expected a load failure")
+    | exception Failure _ -> ()
+  in
+  expect_failure "short best" [ run [| true |] [ ([| true; false |], 0.1) ] ];
+  expect_failure "long entry"
+    [ run [| true; false |] [ ([| true; false; true |], 0.1) ] ]
+
+let prop_database_roundtrip =
+  (* arbitrary printable names (spaces, commas, percent signs, newlines)
+     round-trip through the escaped text format *)
+  let name_gen = QCheck.Gen.(string_size ~gen:printable (1 -- 10)) in
+  QCheck.Test.make ~name:"database roundtrip with hostile names" ~count:100
+    QCheck.(
+      pair
+        (make ~print:Print.(list string) Gen.(list_size (0 -- 5) name_gen))
+        (make ~print:Print.string name_gen))
+    (fun (flag_names, benchmark) ->
+      let n = List.length flag_names in
+      let vec seed = Array.init n (fun i -> (i + seed) mod 2 = 0) in
+      let run =
+        {
+          Bintuner.Database.benchmark;
+          profile = "p 1";
+          arch = "a";
+          flag_names;
+          entries = [ (vec 0, 0.5); (vec 1, 0.75) ];
+          best = vec 1;
+        }
+      in
+      match save_load [ run ] with
+      | [ l ] ->
+        l.Bintuner.Database.benchmark = benchmark
+        && l.flag_names = flag_names
+        && l.entries = run.entries
+        && l.best = run.best
+      | _ -> false)
 
 (* --- AV fleet --- *)
 
@@ -262,6 +372,7 @@ let tests =
     Alcotest.test_case "ga repair" `Quick test_ga_respects_repair;
     Alcotest.test_case "ga deterministic" `Quick test_ga_deterministic;
     Alcotest.test_case "ga history monotone" `Quick test_ga_history_monotone;
+    Alcotest.test_case "ga keeps all seeds" `Quick test_ga_keeps_all_seeds;
     Alcotest.test_case "strategies onemax" `Quick test_strategies_on_onemax;
     Alcotest.test_case "strategies budget" `Quick test_strategies_respect_budget;
     Alcotest.test_case "tuner beats presets" `Slow test_tuner_beats_presets_on_fitness;
@@ -271,6 +382,10 @@ let tests =
     Alcotest.test_case "fitness properties" `Quick test_fitness_properties;
     Alcotest.test_case "database roundtrip" `Slow test_database_roundtrip;
     Alcotest.test_case "database frequency" `Slow test_database_flag_frequency;
+    Alcotest.test_case "database escaped names" `Quick test_database_escaped_names;
+    Alcotest.test_case "database length checks" `Quick
+      test_database_rejects_bad_lengths;
+    QCheck_alcotest.to_alcotest prop_database_roundtrip;
     Alcotest.test_case "av training sample" `Quick test_av_detects_training_sample;
     Alcotest.test_case "av benign clean" `Quick test_av_benign_program_clean;
     Alcotest.test_case "av O3 detected" `Quick test_av_o3_mostly_detected;

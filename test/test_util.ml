@@ -65,6 +65,14 @@ let test_percentile () =
   check_float "p100" 3.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 1.0);
   check_float "p50" 2.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 0.5)
 
+let test_percentile_clamped () =
+  (* out-of-range ranks used to compute an index outside the sorted
+     array: p > 1 read past the end, p < 0 crashed on a negative index *)
+  check_float "p>1 clamps to max" 3.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] 1.5);
+  check_float "p<0 clamps to min" 1.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] (-0.3));
+  check_float "nan clamps to min" 1.0 (Util.Stats.percentile [ 1.0; 2.0; 3.0 ] Float.nan);
+  check_float "singleton, any p" 7.0 (Util.Stats.percentile [ 7.0 ] 99.0)
+
 let test_render_table () =
   let t =
     Util.Render.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333" ] ]
@@ -101,6 +109,7 @@ let tests =
     Alcotest.test_case "jaccard" `Quick test_jaccard;
     Alcotest.test_case "cdf" `Quick test_cdf;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile clamped" `Quick test_percentile_clamped;
     Alcotest.test_case "render table" `Quick test_render_table;
     QCheck_alcotest.to_alcotest prop_pearson_bounded;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;

@@ -6,7 +6,12 @@
 #   2. `make bench-smoke`  — scaled-down Table 1 through the parallel engine;
 #   3. determinism cross-check — the table1 sentinel (an MD5 over every run's
 #      best vector, NCD, iteration count, memo counters and history) must be
-#      byte-identical at -j 1 and -j 2, and the memo must report cache hits.
+#      byte-identical at -j 1 and -j 2, and the memo must report cache hits;
+#   4. telemetry smoke — a one-benchmark fig5 run with -trace must emit
+#      parseable ndjson covering the span vocabulary (compile, pass.*,
+#      ga.generation, pool.chunk, tuner.binhunt) and a -profile cost split,
+#      while the default (telemetry-off) path emits nothing and reproduces
+#      the same sentinel.
 #
 # Exits non-zero on any failure.
 
@@ -35,4 +40,44 @@ if [ "$sentinel_j1" != "$sentinel_j2" ]; then
   exit 1
 fi
 
-echo "ci: OK (sentinel $sentinel_j1, $memo_hits memo hits)"
+echo "== ci: telemetry trace smoke (fig5, one benchmark) =="
+trace_file=$(mktemp)
+profile_log=$(mktemp)
+trap 'rm -f "$smoke_log" "$trace_file" "$profile_log"' EXIT
+dune exec bench/main.exe -- -quick -j 2 -only coreutils \
+  -trace "$trace_file" -profile fig5 > "$profile_log"
+
+[ -s "$trace_file" ] || { echo "ci: FAIL — -trace produced no events" >&2; exit 1; }
+
+# every line must be a standalone JSON object with a type and a name
+if command -v jq >/dev/null 2>&1; then
+  bad=$(jq 'select((has("type") and has("name")) | not) | 1' "$trace_file") \
+    || { echo "ci: FAIL — trace is not parseable ndjson" >&2; exit 1; }
+  [ -z "$bad" ] \
+    || { echo "ci: FAIL — trace event missing type/name" >&2; exit 1; }
+else
+  python3 -c '
+import json, sys
+for line in open(sys.argv[1]):
+    ev = json.loads(line)
+    assert "type" in ev and "name" in ev
+' "$trace_file" || { echo "ci: FAIL — trace is not parseable ndjson" >&2; exit 1; }
+fi
+
+for span in '"name":"compile"' '"name":"pass.' '"name":"ga.generation"' \
+            '"name":"pool.chunk"' '"name":"tuner.ncd"' '"name":"tuner.binhunt"'; do
+  grep -q "$span" "$trace_file" \
+    || { echo "ci: FAIL — trace missing expected span $span" >&2; exit 1; }
+done
+
+grep -q 'cost split' "$profile_log" \
+  || { echo "ci: FAIL — -profile printed no cost split" >&2; exit 1; }
+
+# the no-op path: without the flags the same run must print no telemetry
+if dune exec bench/main.exe -- -quick -j 2 -only coreutils fig5 \
+     | grep -Eq 'telemetry|"type":'; then
+  echo "ci: FAIL — telemetry output leaked on the default (disabled) path" >&2
+  exit 1
+fi
+
+echo "ci: OK (sentinel $sentinel_j1, $memo_hits memo hits, $(wc -l < "$trace_file") trace events)"
