@@ -39,6 +39,9 @@ let pool = ref (Parallel.Pool.create 1)
    benchmarks (fig6, fig8, …) are unaffected. *)
 let only : string list ref = ref []
 
+(* [-quick] also shrinks the ncd microbench's measurement window *)
+let quick_mode = ref false
+
 let eval_set () =
   match !only with
   | [] -> Corpus.evaluation_set
@@ -53,10 +56,12 @@ let tune_cache : (string * string * Isa.Insn.arch, Bintuner.Tuner.result) Hashtb
 let report_tuned bench (profile : Toolchain.Flags.profile)
     (r : Bintuner.Tuner.result) =
   printf
-    "  [tuned] %-18s %-9s iters=%-4d NCD=%.3f functional=%b memo=%d/%d\n%!"
+    "  [tuned] %-18s %-9s iters=%-4d NCD=%.3f functional=%b memo=%d/%d ncd-cache=%d/%d\n%!"
     bench.Corpus.bname profile.profile_name r.iterations r.best_ncd
     r.functional_ok r.cache_hits
     (r.cache_hits + r.compilations)
+    r.ncd_cache_hits
+    (r.ncd_cache_hits + r.ncd_cache_misses)
 
 let tuned ?(arch = Isa.Insn.X86_64) profile bench =
   let key = (profile.Toolchain.Flags.profile_name, bench.Corpus.bname, arch) in
@@ -172,7 +177,35 @@ let fig5_profile profile ~first_bar =
          rows)
   in
   printf "BinTuner ≥ O3-vs-O0 in %d/%d cases (paper: all cases)\n" beats
-    (List.length rows)
+    (List.length rows);
+  (* the NCD view of the same comparisons, batched through one shared
+     size cache — the kernel the GA fitness itself runs on.  Every
+     benchmark's baseline and candidate streams are scored with
+     [Ncd.against], so repeated terms (the O0 baseline of each row) are
+     compressed once and hit thereafter. *)
+  let cache = Compress.Sizecache.create () in
+  let presets = (if first_bar = "Os vs O0" then "Os" else "O1") :: [ "O2"; "O3" ] in
+  List.iter
+    (fun bench ->
+      let stream name =
+        Bintuner.Tuner.code_stream (preset_binary profile name bench)
+      in
+      let baseline = stream "O0" in
+      let candidates =
+        Array.of_list
+          (List.map stream presets
+          @ [ Bintuner.Tuner.code_stream (tuned profile bench).refined_binary ])
+      in
+      let ds = Compress.Ncd.against ~pool:!pool ~cache ~baseline candidates in
+      printf "  [ncd] %-18s %s BinTuner=%.3f\n" bench.Corpus.bname
+        (String.concat " "
+           (List.mapi (fun i p -> Printf.sprintf "%s=%.3f" p ds.(i)) presets))
+        ds.(Array.length ds - 1))
+    (eval_set ());
+  printf "ncd size cache: %d hits / %d lookups (level %s)\n"
+    (Compress.Sizecache.hits cache)
+    (Compress.Sizecache.hits cache + Compress.Sizecache.misses cache)
+    (Compress.Lz.level_name (Compress.Sizecache.level cache))
 
 let fig5 () =
   print_string (section "Figure 5(a): LLVM 11.0 profile");
@@ -470,7 +503,26 @@ let table2 () =
        ~header:[ "variant"; "x86-32"; "x86-64"; "ARM"; "MIPS" ]
        ~rows);
   printf
-    "(paper: detection falls from ~40-46 to ~11-15 of ~60 scanners under BinTuner)\n"
+    "(paper: detection falls from ~40-46 to ~11-15 of ~60 scanners under BinTuner)\n";
+  (* how far apart the three build settings of each malware really are,
+     as the fitness kernel sees them: a pairwise NCD matrix over one
+     shared size cache (solo terms compressed once, pairs fanned over
+     the pool) *)
+  let cache = Compress.Sizecache.create () in
+  List.iter
+    (fun bname ->
+      let bench = Corpus.find bname in
+      let streams =
+        [|
+          Bintuner.Tuner.code_stream (preset_binary gcc "O2" bench);
+          Bintuner.Tuner.code_stream (preset_binary gcc "O3" bench);
+          Bintuner.Tuner.code_stream (tuned gcc bench).best_binary;
+        |]
+      in
+      let m = Compress.Ncd.matrix ~pool:!pool ~cache streams in
+      printf "  [ncd-matrix] %-12s O2/O3=%.3f O2/BinTuner=%.3f O3/BinTuner=%.3f\n"
+        bname m.(0).(1) m.(0).(2) m.(1).(2))
+    [ "lightaidra"; "bashlife" ]
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: execution speedup                                          *)
@@ -980,6 +1032,119 @@ let multiobj () =
 "
 
 (* ------------------------------------------------------------------ *)
+(* NCD kernel microbenchmark (BENCH_ncd.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Compression throughput of each match-finder level over the corpus
+   [.text] streams, plus the size-cache effect on batched pairwise NCD.
+   Emits machine-readable before/after numbers to BENCH_ncd.json —
+   [Greedy] is the pre-overhaul kernel, so the chained-vs-greedy speedup
+   is the overhaul's measured win.  [-quick] shrinks the measurement
+   window for CI smoke runs. *)
+let ncd_bench () =
+  print_string
+    (section "NCD kernel: throughput per match-finder level + size-cache effect");
+  let gcc = Toolchain.Flags.gcc in
+  let streams =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun p -> (preset_binary gcc p bench).Isa.Binary.text)
+          [ "O0"; "O2" ])
+      (eval_set ())
+  in
+  let total_bytes = List.fold_left (fun a s -> a + String.length s) 0 streams in
+  printf "  corpus: %d .text streams, %d bytes\n%!" (List.length streams)
+    total_bytes;
+  let min_time = if !quick_mode then 0.05 else 1.5 in
+  let measure level =
+    (* one warm-up sweep (page in, stabilize the workspace), then timed
+       whole-corpus sweeps until the window is filled *)
+    let sweep () =
+      List.fold_left
+        (fun acc s -> acc + Compress.Lz.compressed_size ~level s)
+        0 streams
+    in
+    let compressed = sweep () in
+    let t0 = Unix.gettimeofday () in
+    let reps = ref 0 in
+    while Unix.gettimeofday () -. t0 < min_time do
+      ignore (sweep () : int);
+      incr reps
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    let mb_per_s =
+      float_of_int (total_bytes * !reps) /. dt /. (1024.0 *. 1024.0)
+    in
+    let ratio = float_of_int compressed /. float_of_int total_bytes in
+    (mb_per_s, ratio)
+  in
+  let levels =
+    [
+      Compress.Lz.Greedy;
+      Compress.Lz.Chained 32;
+      Compress.Lz.Chained Compress.Lz.default_chain_depth;
+      Compress.Lz.Chained 512;
+    ]
+  in
+  let results =
+    List.map
+      (fun level ->
+        let mb_per_s, ratio = measure level in
+        printf "  %-12s %8.2f MB/s  compressed to %5.1f%% of input\n%!"
+          (Compress.Lz.level_name level) mb_per_s (100.0 *. ratio);
+        (level, mb_per_s, ratio))
+      levels
+  in
+  let find_mbs level =
+    let _, m, _ =
+      List.find (fun (l, _, _) -> l = level) results
+    in
+    m
+  in
+  let speedup =
+    find_mbs (Compress.Lz.Chained Compress.Lz.default_chain_depth)
+    /. find_mbs Compress.Lz.Greedy
+  in
+  printf "  chained-%d vs greedy speedup: %.2fx\n" Compress.Lz.default_chain_depth
+    speedup;
+  (* size-cache effect: the same pairwise NCD matrix twice over one
+     cache — the first pass compresses every term, the second is pure
+     table hits *)
+  let cache = Compress.Sizecache.create () in
+  let arr = Array.of_list streams in
+  ignore (Compress.Ncd.matrix ~pool:!pool ~cache arr);
+  let cold_misses = Compress.Sizecache.misses cache in
+  ignore (Compress.Ncd.matrix ~pool:!pool ~cache arr);
+  let hits = Compress.Sizecache.hits cache in
+  let lookups = hits + Compress.Sizecache.misses cache in
+  let hit_rate = float_of_int hits /. float_of_int (max 1 lookups) in
+  printf
+    "  size cache over a %dx%d ncd matrix run twice: %d hits / %d lookups (%.0f%% hit rate, %d entries)\n"
+    (Array.length arr) (Array.length arr) hits lookups (100.0 *. hit_rate)
+    (Compress.Sizecache.length cache);
+  let oc = open_out "BENCH_ncd.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"streams\": %d,\n" (List.length streams);
+  out "  \"total_bytes\": %d,\n" total_bytes;
+  out "  \"levels\": [\n";
+  List.iteri
+    (fun i (level, mb_per_s, ratio) ->
+      out "    {\"level\": %S, \"mb_per_s\": %.2f, \"compressed_ratio\": %.4f}%s\n"
+        (Compress.Lz.level_name level) mb_per_s ratio
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  out "  ],\n";
+  out "  \"chained_default_vs_greedy_speedup\": %.2f,\n" speedup;
+  out
+    "  \"size_cache\": {\"cold_misses\": %d, \"hits\": %d, \"lookups\": %d, \"hit_rate\": %.4f}\n"
+    cold_misses hits lookups hit_rate;
+  out "}\n";
+  close_out oc;
+  printf "  wrote BENCH_ncd.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -997,6 +1162,7 @@ let experiments =
     ("fig10", fig10);
     ("table78", table78);
     ("speed", speed);
+    ("ncd", ncd_bench);
     ("ablation", ablation);
     ("multiobj", multiobj);
     ("bechamel", bechamel);
@@ -1017,6 +1183,10 @@ let usage () =
      \               cost split\n\
      \  -only NAME   restrict the sweep experiments (fig5, table1,\n\
      \               table3, table78) to benchmark NAME (repeatable)\n\
+     \  -lz-level L  match-finder level for the NCD fitness kernel:\n\
+     \               greedy | chained | chained-<depth>\n\
+     \               (default: chained-128; greedy reproduces the\n\
+     \               pre-overhaul kernel bit-for-bit)\n\
      known experiments: %s\n"
     (String.concat " " (List.map fst experiments))
 
@@ -1039,6 +1209,13 @@ let () =
     | ("-only" | "--only") :: name :: rest ->
       only := name :: !only;
       parse rest (j, quick, trace, profile, names)
+    | ("-lz-level" | "--lz-level") :: level :: rest ->
+      (match Compress.Lz.level_of_string level with
+      | l -> Compress.Lz.set_default_level l
+      | exception Invalid_argument _ ->
+        usage ();
+        exit 2);
+      parse rest (j, quick, trace, profile, names)
     | ("-h" | "-help" | "--help") :: _ ->
       usage ();
       exit 0
@@ -1049,9 +1226,11 @@ let () =
       (List.tl (Array.to_list Sys.argv))
       (Parallel.Pool.default_size (), false, None, false, [])
   in
-  if quick then
+  if quick then begin
+    quick_mode := true;
     bench_termination :=
-      { !bench_termination with max_evaluations = 60; plateau_window = 40 };
+      { !bench_termination with max_evaluations = 60; plateau_window = 40 }
+  end;
   (* install telemetry before the pool spawns its domains so worker spans
      carry the right instance.  With neither flag the global stays the
      no-op [Telemetry.null] and tracing costs nothing. *)

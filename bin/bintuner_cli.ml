@@ -55,6 +55,25 @@ let profile_arg =
 let arch_arg =
   Arg.(value & opt string "x86-64" & info [ "arch" ] ~doc:"Target: x86-64 | x86-32 | arm | mips.")
 
+let lz_level_conv =
+  let parse s =
+    match Compress.Lz.level_of_string s with
+    | l -> Ok l
+    | exception Invalid_argument m -> Error (`Msg m)
+  in
+  let print ppf l = Format.pp_print_string ppf (Compress.Lz.level_name l) in
+  Arg.conv (parse, print)
+
+let lz_level_arg =
+  Arg.(value
+       & opt lz_level_conv (Compress.Lz.default_level ())
+       & info [ "lz-level" ]
+           ~doc:
+             "Match-finder level of the NCD fitness kernel: greedy | chained \
+              | chained-<depth>.  greedy is the pre-overhaul kernel, kept \
+              bit-for-bit stable; chained (the default) is faster and \
+              compresses repetitive code harder.")
+
 let compile_cmd =
   let preset =
     Arg.(value & opt string "O2" & info [ "preset" ] ~doc:"O0|O1|O2|O3|Os.")
@@ -105,7 +124,8 @@ let tune_cmd =
                "Print an aggregated telemetry summary after tuning, including \
                 the compile/NCD/BinHunt cost split.")
   in
-  let run bench source profile arch iterations jobs db trace prof =
+  let run bench source profile arch lz_level iterations jobs db trace prof =
+    Compress.Lz.set_default_level lz_level;
     let _, b = load_program ~bench ~source in
     let p = profile_of profile in
     let termination =
@@ -142,7 +162,8 @@ let tune_cmd =
       Printf.printf "run appended to %s\n" path
   in
   Cmd.v (Cmd.info "tune" ~doc:"Run BinTuner's iterative compilation on a benchmark.")
-    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ iterations $ jobs $ db $ trace $ prof)
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg
+          $ lz_level_arg $ iterations $ jobs $ db $ trace $ prof)
 
 let diff_cmd =
   let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in
@@ -169,18 +190,21 @@ let diff_cmd =
 let ncd_cmd =
   let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in
   let b_ = Arg.(value & opt string "O0" & info [ "to" ] ~doc:"Second preset.") in
-  let run bench source profile arch a b_ =
+  let run bench source profile arch lz_level a b_ =
+    Compress.Lz.set_default_level lz_level;
     let program, _ = load_program ~bench ~source in
     let p = profile_of profile in
     let arch = arch_of arch in
     let ba = Toolchain.Pipeline.compile_preset p ~arch a program in
     let bb = Toolchain.Pipeline.compile_preset p ~arch b_ program in
     Printf.printf "NCD(raw bytes)      = %.3f\n" (Bintuner.Tuner.ncd_of_binaries ba bb);
-    Printf.printf "NCD(opcode stream)  = %.3f (the tuner's fitness)\n"
+    Printf.printf "NCD(opcode stream)  = %.3f (the tuner's fitness, level %s)\n"
       (Bintuner.Tuner.fitness_of_binaries ba bb)
+      (Compress.Lz.level_name lz_level)
   in
   Cmd.v (Cmd.info "ncd" ~doc:"Normalized compression distance between two presets.")
-    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ a $ b_)
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg
+          $ lz_level_arg $ a $ b_)
 
 let scan_cmd =
   let run bench source profile arch =

@@ -19,6 +19,8 @@ type result = {
   functional_ok : bool;
   cache_hits : int;
   compilations : int;
+  ncd_cache_hits : int;
+  ncd_cache_misses : int;
   database : entry list;
 }
 
@@ -64,11 +66,10 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
   let ast = Corpus.program bench in
   let baseline = Toolchain.Pipeline.compile_preset profile ~arch "O0" ast in
   let baseline_stream = code_stream baseline in
-  let baseline_csize = Compress.Lz.compressed_size baseline_stream in
-  let csize s =
-    if s == baseline_stream then baseline_csize
-    else Compress.Lz.compressed_size s
-  in
+  (* every C(x) / C(x·baseline) term of this run goes through one
+     content-addressed cache: the baseline's solo size is compressed
+     once, and candidates the GA revisits hit instead of re-compressing *)
+  let ncd_cache = Compress.Sizecache.create () in
   let database = ref [] in
   let memo = Memo.create ~enabled:memoize () in
   let compile vector =
@@ -83,14 +84,16 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
      then the iteration database is appended sequentially in input order
      — the scheduling of the batch can never leak into the result. *)
   let batch_fitness vectors =
-    let ncds =
+    let streams =
       Parallel.Pool.map pool
         (fun v ->
           let bin = compile v in
-          Telemetry.with_span "tuner.ncd" (fun () ->
-              Compress.Ncd.distance_cached csize (code_stream bin)
-                baseline_stream))
+          code_stream bin)
         vectors
+    in
+    let ncds =
+      Compress.Ncd.against ~pool ~span:"tuner.ncd" ~cache:ncd_cache
+        ~baseline:baseline_stream streams
     in
     Array.iteri
       (fun i v ->
@@ -185,7 +188,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
     Parallel.Pool.map_list ~chunk_size:1 pool
       (fun name ->
         let bin = Toolchain.Pipeline.compile_preset profile ~arch name ast in
-        (name, fitness_of_binaries bin baseline))
+        (name, Compress.Ncd.distance_via ncd_cache (code_stream bin) baseline_stream))
       [ "O0"; "O1"; "O2"; "O3"; "Os" ]
   in
   {
@@ -206,5 +209,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
       && functional_check bench baseline refined_binary;
     cache_hits = Memo.hits memo;
     compilations = Memo.misses memo;
+    ncd_cache_hits = Compress.Sizecache.hits ncd_cache;
+    ncd_cache_misses = Compress.Sizecache.misses ncd_cache;
     database = List.rev !database;
   }

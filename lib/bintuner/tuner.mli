@@ -42,6 +42,13 @@ type result = {
       (** compile requests that actually ran the flag-driven pipeline;
           [cache_hits + compilations] is the total number of compile
           requests the run made, a quantity independent of memoization *)
+  ncd_cache_hits : int;
+      (** compressed-size lookups served by the run's {!Compress.Sizecache}
+          (the baseline's terms and revisited candidate streams).  Under
+          racing misses the hit/miss split can depend on scheduling —
+          these two counters are observational and deliberately excluded
+          from the determinism sentinel and the j-differential. *)
+  ncd_cache_misses : int;  (** size lookups that actually compressed *)
   database : entry list;  (** every (vector, fitness) evaluated *)
 }
 

@@ -6,13 +6,66 @@
    arithmetic done in OCaml's native ints with explicit masking) driven by
    three adaptive frequency models: main (256 literals + match marker),
    match length, and distance bucket; distance low bits are coded with a
-   fixed uniform model. *)
+   fixed uniform model.
+
+   Two match finders produce the token stream (the container format and
+   the decoder are shared, so any stream either finder emits decodes with
+   the same [decompress]):
+
+   - [Greedy] is the original finder, kept bit-for-bit stable as a
+     differential oracle: it walks a fixed 64-deep hash chain, takes the
+     longest match immediately, and never cuts a search short.
+   - [Chained depth] is the throughput finder the NCD kernel runs on: the
+     chain walk is bounded by [depth], a candidate is only length-counted
+     after a one-byte prefilter at the current best length, the walk stops
+     early once a "nice" match is found, and match emission is lazy
+     (deferred one position when the next position matches longer). *)
 
 let mask32 = 0xFFFFFFFF
 
 let top = 1 lsl 24
 
 let bot = 1 lsl 16
+
+(* ------------------------------------------------------------------ *)
+(* Compression levels                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type level =
+  | Greedy
+  | Chained of int
+
+let default_chain_depth = 128
+
+let default_level_ref = ref (Chained default_chain_depth)
+
+let set_default_level l = default_level_ref := l
+
+let default_level () = !default_level_ref
+
+let level_name = function
+  | Greedy -> "greedy"
+  | Chained d -> Printf.sprintf "chained-%d" d
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "greedy" -> Greedy
+  | "chained" -> Chained default_chain_depth
+  | s -> (
+    let depth_of prefix =
+      let p = String.length prefix in
+      if String.length s > p && String.sub s 0 p = prefix then
+        int_of_string_opt (String.sub s p (String.length s - p))
+      else None
+    in
+    let depth =
+      match depth_of "chained-" with
+      | Some d -> Some d
+      | None -> depth_of "chained:"
+    in
+    match depth with
+    | Some d when d >= 1 -> Chained d
+    | _ -> invalid_arg ("Lz.level_of_string: " ^ s))
 
 (* ------------------------------------------------------------------ *)
 (* Range coder                                                         *)
@@ -161,6 +214,81 @@ module Model = struct
     !s
 end
 
+(* A drop-in replacement for [Model] on the encode side that keeps the
+   exact same adaptive statistics (same initial counts, increment,
+   rescale rounding, totals — so it emits the same bytes for the same
+   symbol sequence and the shared decoder stays in sync) but maintains a
+   Fenwick tree over the frequencies: the cumulative count a symbol
+   encode needs drops from an O(n) scan to O(log n).  The [Greedy] path
+   deliberately does not use it — that path is the frozen pre-overhaul
+   compressor, oracle for both bytes and baseline throughput. *)
+module Fmodel = struct
+  type t = {
+    freq : int array;
+    tree : int array;  (** 1-based Fenwick tree over [freq] *)
+    mutable total : int;
+    increment : int;
+    limit : int;
+  }
+
+  let rebuild t =
+    let n = Array.length t.freq in
+    Array.fill t.tree 0 (n + 1) 0;
+    for i = 1 to n do
+      t.tree.(i) <- t.tree.(i) + t.freq.(i - 1);
+      let j = i + (i land -i) in
+      if j <= n then t.tree.(j) <- t.tree.(j) + t.tree.(i)
+    done
+
+  let create n =
+    let t =
+      {
+        freq = Array.make n 1;
+        tree = Array.make (n + 1) 0;
+        total = n;
+        increment = 24;
+        limit = bot - 256;
+      }
+    in
+    rebuild t;
+    t
+
+  (* sum of freq.(0 .. s-1) *)
+  let cum_of t s =
+    let c = ref 0 in
+    let i = ref s in
+    while !i > 0 do
+      c := !c + t.tree.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !c
+
+  let rescale t =
+    t.total <- 0;
+    for i = 0 to Array.length t.freq - 1 do
+      t.freq.(i) <- (t.freq.(i) + 1) / 2;
+      t.total <- t.total + t.freq.(i)
+    done;
+    rebuild t
+
+  let update t s =
+    t.freq.(s) <- t.freq.(s) + t.increment;
+    t.total <- t.total + t.increment;
+    if t.total > t.limit then rescale t
+    else begin
+      let n = Array.length t.freq in
+      let i = ref (s + 1) in
+      while !i <= n do
+        t.tree.(!i) <- t.tree.(!i) + t.increment;
+        i := !i + (!i land - !i)
+      done
+    end
+
+  let encode t enc s =
+    Encoder.encode enc ~cum:(cum_of t s) ~freq:t.freq.(s) ~total:t.total;
+    update t s
+end
+
 (* Raw bits through the coder with a uniform model. *)
 let encode_bits enc value nbits =
   for i = nbits - 1 downto 0 do
@@ -179,7 +307,7 @@ let decode_bits dec nbits =
   !v
 
 (* ------------------------------------------------------------------ *)
-(* LZ77 match finder                                                   *)
+(* LZ77 match finders                                                  *)
 (* ------------------------------------------------------------------ *)
 
 let window_size = 32768
@@ -190,34 +318,39 @@ let max_match = 255 + min_match
 
 let hash_bits = 15
 
-let hash s i =
-  let a = Char.code s.[i]
-  and b = Char.code s.[i + 1]
-  and c = Char.code s.[i + 2] in
-  ((a lsl 10) lxor (b lsl 5) lxor c) land ((1 lsl hash_bits) - 1)
+(* Both finders read their input through a two-segment view — [s1]
+   followed by [s2] — so the NCD concatenation term C(x·y) never has to
+   materialize [x ^ y].  The single-string entry points pass [s2 = ""]. *)
+let seg_get s1 n1 s2 i =
+  if i < n1 then String.unsafe_get s1 i else String.unsafe_get s2 (i - n1)
 
-(* Distance bucket: floor(log2 dist); extra bits reconstruct it exactly. *)
-let dist_bucket d =
-  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
-  log2 d 0
+let hash_of a b c = ((a lsl 10) lxor (b lsl 5) lxor c) land ((1 lsl hash_bits) - 1)
 
 type token =
   | Literal of char
   | Match of int * int  (** length, distance *)
 
-let tokenize s =
-  let n = String.length s in
+(* The original finder, frozen: a 64-candidate chain walk with no early
+   exit, no prefilter, and immediate (greedy) emission.  Its token
+   decisions — and therefore its output bytes — are the pre-overhaul
+   behaviour the differential tests and the table1 [Greedy] sentinel pin
+   down.  Do not "optimize" this path; that is what [Chained] is for. *)
+let tokenize_greedy s1 s2 =
+  let n1 = String.length s1 in
+  let n = n1 + String.length s2 in
+  let get i = seg_get s1 n1 s2 i in
   let head = Array.make (1 lsl hash_bits) (-1) in
   let prev = Array.make (max n 1) (-1) in
   let tokens = ref [] in
+  let hash i = hash_of (Char.code (get i)) (Char.code (get (i + 1))) (Char.code (get (i + 2))) in
   let match_len i j =
     let lim = min max_match (n - i) in
-    let rec go k = if k < lim && s.[i + k] = s.[j + k] then go (k + 1) else k in
+    let rec go k = if k < lim && get (i + k) = get (j + k) then go (k + 1) else k in
     go 0
   in
   let insert i =
     if i + min_match <= n then begin
-      let h = hash s i in
+      let h = hash i in
       prev.(i) <- head.(h);
       head.(h) <- i
     end
@@ -226,7 +359,7 @@ let tokenize s =
   while !i < n do
     let best_len = ref 0 and best_dist = ref 0 in
     if !i + min_match <= n then begin
-      let h = hash s !i in
+      let h = hash !i in
       let cand = ref head.(h) and chain = ref 0 in
       while !cand >= 0 && !chain < 64 do
         let d = !i - !cand in
@@ -251,12 +384,152 @@ let tokenize s =
       done
     end
     else begin
-      tokens := Literal s.[!i] :: !tokens;
+      tokens := Literal (get !i) :: !tokens;
       insert !i;
       incr i
     end
   done;
   List.rev !tokens
+
+(* A match this long is good enough to stop the chain walk outright. *)
+let nice_match = 160
+
+(* Per-domain scratch for the chained finder.  The head table is 2^15
+   entries — zeroing it on every call costs more than compressing a
+   small stream, so entries are generation-stamped instead: a slot holds
+   [base + position], and anything below the current [base] is stale.
+   Nothing is ever cleared between calls; [base] advances by the input
+   length each time.  Keyed by domain, so pool workers never share. *)
+type workspace = {
+  mutable head : int array;
+  mutable prev : int array;
+  mutable base : int;
+  mutable scratch : Bytes.t;  (** reused backing for the pair view *)
+}
+
+let workspace_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        head = Array.make (1 lsl hash_bits) 0;
+        prev = [||];
+        base = 1;
+        scratch = Bytes.empty;
+      })
+
+let get_workspace n =
+  let ws = Domain.DLS.get workspace_key in
+  if Array.length ws.prev < n then
+    ws.prev <- Array.make (max n 1024) 0;
+  if ws.base > max_int - (2 * n) - 2 then begin
+    (* stamp overflow (practically unreachable): restart the epochs *)
+    Array.fill ws.head 0 (Array.length ws.head) 0;
+    ws.base <- 1
+  end;
+  ws
+
+(* The two-segment view for the chained finder: x·y lands in the reused
+   per-domain scratch (a blit, ~0.1% of the compression cost) so the
+   tokenizer's inner loops run on one flat string with unsafe reads, and
+   no per-call concatenation garbage is ever allocated. *)
+let pair_view ws x y =
+  let nx = String.length x and ny = String.length y in
+  if ny = 0 then x
+  else if nx = 0 then y
+  else begin
+    let n = nx + ny in
+    if Bytes.length ws.scratch < n then
+      ws.scratch <- Bytes.create (max n 1024);
+    Bytes.blit_string x 0 ws.scratch 0 nx;
+    Bytes.blit_string y 0 ws.scratch nx ny;
+    Bytes.unsafe_to_string ws.scratch
+  end
+
+(* The hash-chain finder: depth-bounded walk, one-byte prefilter at the
+   current best length, early exit on nice/maximal matches, and lazy
+   one-step-deferred emission.  Tokens stream straight into [emit] — no
+   intermediate list. *)
+let tokenize_chained ~depth s n ~emit_literal ~emit_match =
+  let ws = get_workspace n in
+  let head = ws.head and prev = ws.prev and base = ws.base in
+  ws.base <- base + n;
+  (* [n <= String.length s] but may be smaller when [s] is the scratch
+     view, so every read below is bounded by [n], never [String.length]. *)
+  let get i = String.unsafe_get s i in
+  let hash i = hash_of (Char.code (get i)) (Char.code (get (i + 1))) (Char.code (get (i + 2))) in
+  (* [head.(h)] and [prev.(i)] hold stamped positions ([base + pos]); a
+     value below [base] is empty or left over from an earlier call. *)
+  let insert i =
+    if i + min_match <= n then begin
+      let h = hash i in
+      prev.(i) <- head.(h);
+      head.(h) <- base + i
+    end
+  in
+  (* Longest match at [i] among the chain's candidates (all < i because
+     [i] is inserted only after the search).  Returns (len, dist) with
+     len = 0 when nothing reaches [min_match]. *)
+  let find i =
+    if i + min_match > n then (0, 0)
+    else begin
+      let lim = min max_match (n - i) in
+      let best_len = ref (min_match - 1) and best_dist = ref 0 in
+      let cand = ref head.(hash i) and budget = ref depth in
+      (try
+         while !cand >= base && !budget > 0 do
+           let c = !cand - base in
+           let d = i - c in
+           (* the chain is ordered by position: every later candidate is
+              further away, so one out-of-window hit ends the walk *)
+           if d > window_size then raise_notrace Exit;
+           (* prefilter: a candidate can only improve on [best_len] if it
+              also matches at that offset — one compare rejects most *)
+           if get (c + !best_len) = get (i + !best_len) then begin
+             let rec go k =
+               if k < lim && get (i + k) = get (c + k) then go (k + 1)
+               else k
+             in
+             let l = go 0 in
+             if l > !best_len then begin
+               best_len := l;
+               best_dist := d;
+               if l >= nice_match || l >= lim then raise_notrace Exit
+             end
+           end;
+           cand := prev.(c);
+           decr budget
+         done
+       with Exit -> ());
+      if !best_len >= min_match then (!best_len, !best_dist) else (0, 0)
+    end
+  in
+  let i = ref 0 in
+  let prev_len = ref 0 and prev_dist = ref 0 in
+  let pending_literal = ref false in  (* position i-1 not yet emitted *)
+  while !i < n do
+    let len, dist = find !i in
+    insert !i;
+    if !prev_len >= min_match && len <= !prev_len then begin
+      (* the deferred match at i-1 wins over anything starting at i *)
+      emit_match !prev_len !prev_dist;
+      let stop = !i - 1 + !prev_len in
+      let j = ref (!i + 1) in
+      while !j < stop do
+        insert !j;
+        incr j
+      done;
+      i := stop;
+      prev_len := 0;
+      pending_literal := false
+    end
+    else begin
+      if !pending_literal then emit_literal (get (!i - 1));
+      prev_len := len;
+      prev_dist := dist;
+      pending_literal := true;
+      incr i
+    end
+  done;
+  if !pending_literal then emit_literal (get (n - 1))
 
 (* ------------------------------------------------------------------ *)
 (* Container format                                                    *)
@@ -275,26 +548,63 @@ let get_u32 s off =
 
 let match_marker = 256
 
-let compress s =
+(* Distance bucket: floor(log2 dist); extra bits reconstruct it exactly. *)
+let dist_bucket d =
+  let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+  log2 d 0
+
+let compress_segments level s1 s2 =
   let enc = Encoder.create () in
-  let main = Model.create 257 in
-  let len_model = Model.create (max_match - min_match + 1) in
-  let dist_model = Model.create 16 in
-  let emit = function
-    | Literal c -> Model.encode main enc (Char.code c)
-    | Match (len, dist) ->
-      Model.encode main enc match_marker;
-      Model.encode len_model enc (len - min_match);
-      let bucket = dist_bucket dist in
-      Model.encode dist_model enc bucket;
-      if bucket > 0 then encode_bits enc (dist - (1 lsl bucket)) bucket
+  let coded =
+    match level with
+    | Greedy ->
+      (* frozen pre-overhaul path: list tokenizer + linear-scan models *)
+      let main = Model.create 257 in
+      let len_model = Model.create (max_match - min_match + 1) in
+      let dist_model = Model.create 16 in
+      let emit = function
+        | Literal c -> Model.encode main enc (Char.code c)
+        | Match (len, dist) ->
+          Model.encode main enc match_marker;
+          Model.encode len_model enc (len - min_match);
+          let bucket = dist_bucket dist in
+          Model.encode dist_model enc bucket;
+          if bucket > 0 then encode_bits enc (dist - (1 lsl bucket)) bucket
+      in
+      List.iter emit (tokenize_greedy s1 s2);
+      Encoder.finish enc
+    | Chained depth ->
+      let main = Fmodel.create 257 in
+      let len_model = Fmodel.create (max_match - min_match + 1) in
+      let dist_model = Fmodel.create 16 in
+      let emit_literal c = Fmodel.encode main enc (Char.code c) in
+      let emit_match len dist =
+        Fmodel.encode main enc match_marker;
+        Fmodel.encode len_model enc (len - min_match);
+        let bucket = dist_bucket dist in
+        Fmodel.encode dist_model enc bucket;
+        if bucket > 0 then encode_bits enc (dist - (1 lsl bucket)) bucket
+      in
+      let n = String.length s1 + String.length s2 in
+      let s =
+        if String.length s2 = 0 then s1
+        else pair_view (Domain.DLS.get workspace_key) s1 s2
+      in
+      tokenize_chained ~depth:(max 1 depth) s n ~emit_literal ~emit_match;
+      Encoder.finish enc
   in
-  List.iter emit (tokenize s);
-  let coded = Encoder.finish enc in
   let out = Buffer.create (String.length coded + header_size) in
-  put_u32 out (String.length s);
+  put_u32 out (String.length s1 + String.length s2);
   Buffer.add_string out coded;
   Buffer.contents out
+
+let compress ?level s =
+  let level = match level with Some l -> l | None -> !default_level_ref in
+  compress_segments level s ""
+
+let compress_pair ?level x y =
+  let level = match level with Some l -> l | None -> !default_level_ref in
+  compress_segments level x y
 
 let decompress packed =
   if String.length packed < header_size then
@@ -323,4 +633,6 @@ let decompress packed =
   done;
   Buffer.contents out
 
-let compressed_size s = String.length (compress s)
+let compressed_size ?level s = String.length (compress ?level s)
+
+let compressed_size_pair ?level x y = String.length (compress_pair ?level x y)

@@ -6,13 +6,46 @@
     The score approximates the (uncomputable) normalized information
     distance grounded in Kolmogorov complexity: 0.0 for identical inputs,
     approaching 1.0 as the inputs share no structure.  The paper computes
-    it over the raw bytes of the binaries' code sections. *)
+    it over the raw bytes of the binaries' code sections.
 
-val distance : string -> string -> float
-(** [distance x y] — NCD of two byte strings.  Symmetric up to compressor
-    imperfection; 0.0 when both are empty. *)
+    The C(x·y) term always goes through {!Lz.compress_pair}'s two-segment
+    view — no entry point here ever materializes [x ^ y].  Batch scoring
+    ({!against}, {!matrix}) shares a {!Sizecache} so repeated terms are
+    compressed once per content, and fans out over a [Parallel.Pool]. *)
+
+val distance : ?level:Lz.level -> string -> string -> float
+(** [distance x y] — NCD of two byte strings at [level] (default:
+    [Lz.default_level ()]).  Symmetric up to compressor imperfection;
+    0.0 when both are empty. *)
 
 val distance_cached : (string -> int) -> string -> string -> float
 (** [distance_cached csize x y] uses [csize] for the two solo terms (so a
-    tuning loop can cache C(baseline)) and compresses only the
-    concatenation. *)
+    caller can supply its own memo) and compresses only the
+    concatenation, at the default level.  Superseded by {!distance_via}
+    for new code; kept for callers carrying their own size function. *)
+
+val distance_via : Sizecache.t -> string -> string -> float
+(** [distance_via cache x y] — NCD with all three terms memoized in
+    [cache] (at the cache's level).  Equal to {!distance} at that level,
+    to the bit. *)
+
+val against :
+  ?pool:Parallel.Pool.t ->
+  ?span:string ->
+  cache:Sizecache.t ->
+  baseline:string ->
+  string array ->
+  float array
+(** [against ~cache ~baseline xs] — [distance_via cache x baseline] for
+    every [x], in input order.  The baseline's solo size is warmed before
+    the fan-out.  [pool] parallelizes across workers (results are order-
+    and scheduling-independent); [span] wraps each element's computation
+    in a telemetry span of that name. *)
+
+val matrix :
+  ?pool:Parallel.Pool.t -> cache:Sizecache.t -> string array -> float array array
+(** [matrix ~cache xs] — the full symmetric pairwise NCD matrix.  Solo
+    sizes are warmed first, then the strict upper triangle is scored
+    (across [pool] when given) and mirrored; the diagonal is fixed at
+    [0.] (the metric's ideal self-distance, rather than the compressor's
+    small positive approximation of it). *)

@@ -1,0 +1,117 @@
+(* Content-addressed LRU cache over compressed sizes.  Entries live on a
+   doubly-linked ring through a sentinel node: [sentinel.next] is the
+   most recently used entry, [sentinel.prev] the eviction victim.  All
+   table/ring/counter state is guarded by one mutex; compression itself
+   runs outside the lock (same discipline as Bintuner.Memo) so workers
+   caching different streams never serialize on each other. *)
+
+type node = {
+  key : string;
+  mutable value : int;
+  mutable ring_prev : node;
+  mutable ring_next : node;
+}
+
+type t = {
+  level : Lz.level;
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  sentinel : node;
+  lock : Mutex.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let default_capacity = 4096
+
+let create ?(capacity = default_capacity) ?level () =
+  let level = match level with Some l -> l | None -> Lz.default_level () in
+  let rec sentinel =
+    { key = ""; value = 0; ring_prev = sentinel; ring_next = sentinel }
+  in
+  {
+    level;
+    capacity = max 1 capacity;
+    table = Hashtbl.create (min 1024 (max 16 capacity));
+    sentinel;
+    lock = Mutex.create ();
+    hits = 0;
+    misses = 0;
+  }
+
+let level t = t.level
+let capacity t = t.capacity
+
+let unlink n =
+  n.ring_prev.ring_next <- n.ring_next;
+  n.ring_next.ring_prev <- n.ring_prev
+
+let push_front t n =
+  n.ring_next <- t.sentinel.ring_next;
+  n.ring_prev <- t.sentinel;
+  t.sentinel.ring_next.ring_prev <- n;
+  t.sentinel.ring_next <- n
+
+(* Digests are raw 16-byte MD5 strings, so a one-byte tag keeps solo and
+   pair keys from ever colliding. *)
+let solo_key x = "S" ^ Digest.string x
+let pair_key x y = "P" ^ Digest.string x ^ Digest.string y
+
+let find_or_compute t key compute =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink n;
+    push_front t n;
+    let v = n.value in
+    Mutex.unlock t.lock;
+    Telemetry.add_count "sizecache.hit";
+    v
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.lock;
+    Telemetry.add_count "sizecache.miss";
+    let v = compute () in
+    Mutex.lock t.lock;
+    (* a racing worker may have inserted the same key while we were
+       compressing; the compressor is deterministic, so keeping the
+       existing entry is equivalent *)
+    if not (Hashtbl.mem t.table key) then begin
+      let n = { key; value = v; ring_prev = t.sentinel; ring_next = t.sentinel } in
+      push_front t n;
+      Hashtbl.replace t.table key n;
+      if Hashtbl.length t.table > t.capacity then begin
+        let victim = t.sentinel.ring_prev in
+        unlink victim;
+        Hashtbl.remove t.table victim.key
+      end
+    end;
+    Mutex.unlock t.lock;
+    v
+
+let size t x =
+  find_or_compute t (solo_key x) (fun () ->
+      Lz.compressed_size ~level:t.level x)
+
+let size_pair t x y =
+  find_or_compute t (pair_key x y) (fun () ->
+      Lz.compressed_size_pair ~level:t.level x y)
+
+let hits t =
+  Mutex.lock t.lock;
+  let h = t.hits in
+  Mutex.unlock t.lock;
+  h
+
+let misses t =
+  Mutex.lock t.lock;
+  let m = t.misses in
+  Mutex.unlock t.lock;
+  m
+
+let length t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.lock;
+  n

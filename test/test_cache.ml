@@ -1,9 +1,10 @@
-(* Cache-correctness tests for the compile-memo layer and the persisted
-   tuning database.
+(* Cache-correctness tests for the compile-memo layer, the NCD size
+   cache, and the persisted tuning database.
 
    Memoization is only legal because compilation is a pure function of
-   (profile, arch, flag vector, AST).  These tests pin that down from
-   three directions:
+   (profile, arch, flag vector, AST) — and size caching because
+   compression is a pure function of the stream bytes.  These tests pin
+   that down from several directions:
 
    - a full [Tuner.tune] run with the memo on must equal the same run
      with the memo off, while the counters satisfy the conservation
@@ -107,9 +108,103 @@ let prop_database_lookup_matches_fresh =
       Bintuner.Database.lookup run vector = Some recorded
       && recomputed = recorded)
 
+(* --- the NCD size cache --- *)
+
+(* Cached vs uncached NCD, equal to the bit, on every corpus benchmark:
+   [distance_via] over a shared Sizecache must reproduce the plain
+   [distance] at the cache's level — querying each pair twice so the
+   second round is served entirely from the table. *)
+let test_sizecache_distance_exact () =
+  let cache = Compress.Sizecache.create () in
+  let level = Compress.Sizecache.level cache in
+  List.iter
+    (fun bench ->
+      let prog = Corpus.program bench in
+      let stream preset =
+        Bintuner.Tuner.code_stream
+          (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc preset prog)
+      in
+      let baseline = stream "O0" and candidate = stream "O2" in
+      let uncached = Compress.Ncd.distance ~level candidate baseline in
+      List.iter
+        (fun round ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s: cached ncd, round %d" bench.Corpus.bname round)
+            uncached
+            (Compress.Ncd.distance_via cache candidate baseline))
+        [ 1; 2 ])
+    Corpus.all;
+  Alcotest.(check bool) "second rounds hit" true
+    (Compress.Sizecache.hits cache >= 3 * List.length Corpus.all)
+
+(* LRU eviction changes counters, never results: a capacity-2 cache
+   cycling through many distinct streams keeps evicting, yet every
+   answer equals the direct computation; re-querying an evicted key
+   misses again instead of lying. *)
+let test_sizecache_eviction_only_counters () =
+  let cache = Compress.Sizecache.create ~capacity:2 () in
+  let level = Compress.Sizecache.level cache in
+  let streams =
+    Array.init 12 (fun i ->
+        String.concat ""
+          (List.init 80 (fun k -> Printf.sprintf "op%d_%d;" (i mod 5) (k mod 7))))
+  in
+  for round = 1 to 3 do
+    Array.iteri
+      (fun i s ->
+        Alcotest.(check int)
+          (Printf.sprintf "size stream %d round %d" i round)
+          (Compress.Lz.compressed_size ~level s)
+          (Compress.Sizecache.size cache s))
+      streams
+  done;
+  Alcotest.(check bool) "bounded" true (Compress.Sizecache.length cache <= 2);
+  (* 12 distinct streams through 2 slots: every round re-misses *)
+  Alcotest.(check bool) "eviction forced re-misses" true
+    (Compress.Sizecache.misses cache > Array.length streams)
+
+let test_sizecache_counters () =
+  let cache = Compress.Sizecache.create () in
+  Alcotest.(check (pair int int)) "fresh" (0, 0)
+    (Compress.Sizecache.hits cache, Compress.Sizecache.misses cache);
+  let s = String.make 500 'k' in
+  ignore (Compress.Sizecache.size cache s : int);
+  Alcotest.(check (pair int int)) "one miss" (0, 1)
+    (Compress.Sizecache.hits cache, Compress.Sizecache.misses cache);
+  ignore (Compress.Sizecache.size cache s : int);
+  Alcotest.(check (pair int int)) "then one hit" (1, 1)
+    (Compress.Sizecache.hits cache, Compress.Sizecache.misses cache);
+  (* pair keys are ordered and distinct from solo keys *)
+  ignore (Compress.Sizecache.size_pair cache s "tail" : int);
+  ignore (Compress.Sizecache.size_pair cache "tail" s : int);
+  Alcotest.(check (pair int int)) "ordered pair keys both miss" (1, 3)
+    (Compress.Sizecache.hits cache, Compress.Sizecache.misses cache);
+  Alcotest.(check int) "pair size is the concatenation's"
+    (Compress.Lz.compressed_size
+       ~level:(Compress.Sizecache.level cache)
+       (s ^ "tail"))
+    (Compress.Sizecache.size_pair cache s "tail")
+
+(* a full tuned run reports nonzero size-cache traffic, and the cached
+   fitness values match the database invariant already checked above *)
+let test_tuner_reports_sizecache_traffic () =
+  let r =
+    Bintuner.Tuner.tune ~termination:term_small ~profile:Toolchain.Flags.gcc
+      (Corpus.find "429.mcf")
+  in
+  Alcotest.(check bool) "ncd cache saw hits" true (r.ncd_cache_hits > 0);
+  Alcotest.(check bool) "ncd cache saw misses" true (r.ncd_cache_misses > 0)
+
 let tests =
   [
     Alcotest.test_case "memo on/off differential" `Slow test_memo_on_off_equal;
     QCheck_alcotest.to_alcotest prop_memo_matches_fresh_compile;
     QCheck_alcotest.to_alcotest prop_database_lookup_matches_fresh;
+    Alcotest.test_case "sizecache ncd exact on corpus" `Slow
+      test_sizecache_distance_exact;
+    Alcotest.test_case "sizecache eviction only counters" `Quick
+      test_sizecache_eviction_only_counters;
+    Alcotest.test_case "sizecache counters" `Quick test_sizecache_counters;
+    Alcotest.test_case "tuner reports sizecache traffic" `Slow
+      test_tuner_reports_sizecache_traffic;
   ]

@@ -4,6 +4,7 @@ let () =
       ("util", Test_util.tests);
       ("sat", Test_sat.tests);
       ("compress", Test_compress.tests);
+      ("lz-properties", Test_lz_properties.tests);
       ("minic", Test_minic.tests);
       ("isa", Test_isa.tests);
       ("passes", Test_passes.tests);

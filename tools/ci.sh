@@ -7,16 +7,29 @@
 #   3. determinism cross-check — the table1 sentinel (an MD5 over every run's
 #      best vector, NCD, iteration count, memo counters and history) must be
 #      byte-identical at -j 1 and -j 2, and the memo must report cache hits;
-#   4. telemetry smoke — a one-benchmark fig5 run with -trace must emit
+#   4. frozen-oracle sentinel — the same table1 run at -lz-level greedy
+#      (the pre-overhaul match finder, kept bit-for-bit stable) must
+#      reproduce the sentinel recorded before the NCD kernel overhaul;
+#   5. telemetry smoke — a one-benchmark fig5 run with -trace must emit
 #      parseable ndjson covering the span vocabulary (compile, pass.*,
 #      ga.generation, pool.chunk, tuner.binhunt) and a -profile cost split,
 #      while the default (telemetry-off) path emits nothing and reproduces
-#      the same sentinel.
+#      the same sentinel; the fig5 NCD batch must report size-cache hits;
+#   6. ncd microbench smoke — the `ncd` experiment must emit a parseable
+#      BENCH_ncd.json whose chained-vs-greedy throughput speedup is > 1.
 #
 # Exits non-zero on any failure.
 
 set -eu
 cd "$(dirname "$0")/.."
+root=$(pwd)
+
+# table1 sentinel of the pre-overhaul NCD kernel, captured at -quick -j 2
+# before the hash-chain match finder landed.  The Greedy level freezes
+# that kernel, so this value must never drift (re-baselining it is only
+# legitimate together with the greedy golden digests in
+# test/test_lz_properties.ml).
+greedy_baseline=7f112dab553031cf2d0b06b786b3e191
 
 echo "== ci: build + tests =="
 make check
@@ -37,6 +50,14 @@ sentinel_j1=$(dune exec bench/main.exe -- -quick -j 1 table1 \
   | grep 'table1 determinism sentinel:' | awk '{print $NF}')
 if [ "$sentinel_j1" != "$sentinel_j2" ]; then
   echo "ci: FAIL — table1 results depend on -j ($sentinel_j1 vs $sentinel_j2)" >&2
+  exit 1
+fi
+
+echo "== ci: frozen-oracle sentinel (-lz-level greedy vs pre-overhaul baseline) =="
+sentinel_greedy=$(dune exec bench/main.exe -- -quick -j 2 -lz-level greedy table1 \
+  | grep 'table1 determinism sentinel:' | awk '{print $NF}')
+if [ "$sentinel_greedy" != "$greedy_baseline" ]; then
+  echo "ci: FAIL — greedy sentinel drifted from the pre-overhaul baseline ($sentinel_greedy vs $greedy_baseline)" >&2
   exit 1
 fi
 
@@ -73,6 +94,12 @@ done
 grep -q 'cost split' "$profile_log" \
   || { echo "ci: FAIL — -profile printed no cost split" >&2; exit 1; }
 
+# the fig5 NCD batch runs over a shared size cache; the repeated baseline
+# terms must actually hit it
+ncd_hits=$(grep 'ncd size cache:' "$profile_log" | awk '{print $4}' | sort -n | tail -1)
+[ "${ncd_hits:-0}" -ge 1 ] \
+  || { echo "ci: FAIL — fig5 ncd size cache reported no hits" >&2; exit 1; }
+
 # the no-op path: without the flags the same run must print no telemetry
 if dune exec bench/main.exe -- -quick -j 2 -only coreutils fig5 \
      | grep -Eq 'telemetry|"type":'; then
@@ -80,4 +107,30 @@ if dune exec bench/main.exe -- -quick -j 2 -only coreutils fig5 \
   exit 1
 fi
 
-echo "ci: OK (sentinel $sentinel_j1, $memo_hits memo hits, $(wc -l < "$trace_file") trace events)"
+echo "== ci: ncd microbench smoke =="
+ncd_dir=$(mktemp -d)
+trap 'rm -f "$smoke_log" "$trace_file" "$profile_log"; rm -rf "$ncd_dir"' EXIT
+# run from a scratch cwd so the smoke numbers never overwrite the
+# committed full-run BENCH_ncd.json
+(cd "$ncd_dir" && "$root/_build/default/bench/main.exe" -quick -j 2 -only coreutils ncd) \
+  > "$ncd_dir/ncd.log"
+[ -s "$ncd_dir/BENCH_ncd.json" ] \
+  || { echo "ci: FAIL — ncd microbench wrote no BENCH_ncd.json" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq -e '(.streams >= 1) and (.total_bytes > 0) and ((.levels | length) >= 2)
+         and (.chained_default_vs_greedy_speedup > 1.0) and (.size_cache.hits > 0)' \
+    "$ncd_dir/BENCH_ncd.json" >/dev/null \
+    || { echo "ci: FAIL — BENCH_ncd.json failed validation" >&2; exit 1; }
+else
+  python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["streams"] >= 1 and d["total_bytes"] > 0
+assert len(d["levels"]) >= 2
+assert d["chained_default_vs_greedy_speedup"] > 1.0, d
+assert d["size_cache"]["hits"] > 0
+' "$ncd_dir/BENCH_ncd.json" \
+    || { echo "ci: FAIL — BENCH_ncd.json failed validation" >&2; exit 1; }
+fi
+
+echo "ci: OK (sentinel $sentinel_j1, greedy oracle stable, $memo_hits memo hits, ncd cache hits $ncd_hits, $(wc -l < "$trace_file") trace events)"
