@@ -2,10 +2,13 @@
 #
 #   make check        build everything and run the full test suite
 #   make bench-smoke  scaled-down Table 1 on the parallel engine (-quick -j 2)
+#   make verify-ir    IR-verified compile of the whole corpus (every preset,
+#                     profile, arch and a few random valid flag vectors) plus
+#                     the pedantic lint against the committed allowlist
 #   make ci           what tools/ci.sh runs: check + bench-smoke + the
 #                     determinism-sentinel cross-check over -j values
 
-.PHONY: check bench-smoke ci
+.PHONY: check bench-smoke verify-ir ci
 
 check:
 	dune build @all
@@ -16,6 +19,13 @@ check:
 # determinism sentinel all on the hot path).
 bench-smoke:
 	dune exec bench/main.exe -- -quick -j 2 table1
+
+# The static-analysis gate: every pass of every compile in the sweep runs
+# under the IR verifier, then the MinC lint must report nothing beyond the
+# reviewed findings in tools/lint_allowlist.txt.
+verify-ir:
+	dune exec bin/bintuner_cli.exe -- verify
+	dune exec bin/bintuner_cli.exe -- analyze --allowlist tools/lint_allowlist.txt
 
 ci:
 	tools/ci.sh

@@ -1170,7 +1170,7 @@ let experiments =
 
 let usage () =
   printf
-    "usage: main.exe [-j N] [-quick] [-trace FILE] [-profile] [-only NAME]* [experiment...]\n\
+    "usage: main.exe [-j N] [-quick] [-verify] [-trace FILE] [-profile] [-only NAME]* [experiment...]\n\
      \  -j N         run tuning jobs and GA generations on N domains\n\
      \               (default: the machine's recommended domain count;\n\
      \               results are bit-identical at every N)\n\
@@ -1187,6 +1187,9 @@ let usage () =
      \               greedy | chained | chained-<depth>\n\
      \               (default: chained-128; greedy reproduces the\n\
      \               pre-overhaul kernel bit-for-bit)\n\
+     \  -verify      run the IR verifier after every pass of every\n\
+     \               compile; abort naming the offending pass on the\n\
+     \               first broken IR invariant\n\
      known experiments: %s\n"
     (String.concat " " (List.map fst experiments))
 
@@ -1202,6 +1205,9 @@ let () =
         usage ();
         exit 2)
     | "-quick" :: rest -> parse rest (j, true, trace, profile, names)
+    | "-verify" :: rest ->
+      Toolchain.Pipeline.verify_default := true;
+      parse rest acc
     | ("-trace" | "--trace") :: file :: rest ->
       parse rest (j, quick, Some file, profile, names)
     | ("-profile" | "--profile") :: rest ->

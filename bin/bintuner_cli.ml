@@ -74,11 +74,20 @@ let lz_level_arg =
               bit-for-bit stable; chained (the default) is faster and \
               compresses repetitive code harder.")
 
+let verify_ir_arg =
+  Arg.(value & flag
+       & info [ "verify-ir" ]
+           ~doc:
+             "Run the IR verifier after lowering and after every IR pass; \
+              abort naming the offending pass if a pass breaks an IR \
+              invariant.")
+
 let compile_cmd =
   let preset =
     Arg.(value & opt string "O2" & info [ "preset" ] ~doc:"O0|O1|O2|O3|Os.")
   in
-  let run bench source profile arch preset =
+  let run bench source profile arch preset verify_ir =
+    if verify_ir then Toolchain.Pipeline.verify_default := true;
     let program, b = load_program ~bench ~source in
     let p = profile_of profile in
     let bin = Toolchain.Pipeline.compile_preset p ~arch:(arch_of arch) preset program in
@@ -92,7 +101,8 @@ let compile_cmd =
       (Vir.Interp.output_to_string r.output)
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a benchmark at a preset and run it.")
-    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ preset)
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg $ preset
+          $ verify_ir_arg)
 
 let tune_cmd =
   let iterations =
@@ -231,6 +241,159 @@ let scan_cmd =
   Cmd.v (Cmd.info "scan" ~doc:"Train the AV fleet on the -O2 build and scan every preset.")
     Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg)
 
+let verify_cmd =
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ]
+             ~doc:"Restrict the sweep to one benchmark (default: whole corpus).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random-vector seed.")
+  in
+  let vectors =
+    Arg.(value & opt int 3
+         & info [ "vectors" ]
+             ~doc:"Constraint-repaired random flag vectors per profile.")
+  in
+  let run bench seed nvec =
+    let benches =
+      match bench with Some n -> [ Corpus.find n ] | None -> Corpus.all
+    in
+    let archs = [ Isa.Insn.X86_64; Isa.Insn.X86_32; Isa.Insn.Arm; Isa.Insn.Mips ] in
+    let total = ref 0 and failed = ref 0 in
+    List.iter
+      (fun b ->
+        let program = Corpus.program b in
+        List.iter
+          (fun p ->
+            let rng = Util.Rng.create seed in
+            let random_vectors =
+              List.init nvec (fun _ ->
+                  let raw =
+                    Array.init
+                      (Array.length p.Toolchain.Flags.flags)
+                      (fun _ -> Util.Rng.bool rng)
+                  in
+                  Toolchain.Constraints.repair p rng raw)
+            in
+            List.iter
+              (fun arch ->
+                let attempt label thunk =
+                  incr total;
+                  try ignore (thunk ())
+                  with Toolchain.Pipeline.Verification_failed msg ->
+                    incr failed;
+                    Printf.printf "FAIL %s %s %s %s:\n%s\n" b.Corpus.bname
+                      p.Toolchain.Flags.profile_name (Isa.Insn.arch_name arch)
+                      label msg
+                in
+                List.iter
+                  (fun preset ->
+                    attempt preset (fun () ->
+                        Toolchain.Pipeline.compile_preset p ~arch preset
+                          program))
+                  Toolchain.Flags.preset_names;
+                List.iteri
+                  (fun i v ->
+                    attempt
+                      (Printf.sprintf "random-%d" i)
+                      (fun () ->
+                        Toolchain.Pipeline.compile_flags p ~arch v program))
+                  random_vectors)
+              archs)
+          Toolchain.Flags.profiles)
+      benches;
+    Printf.printf "verified %d compiles over %d benchmarks: %d failure(s)\n"
+      !total (List.length benches) !failed;
+    if !failed > 0 then exit 1
+  in
+  let run bench seed nvec =
+    Toolchain.Pipeline.verify_default := true;
+    Fun.protect
+      ~finally:(fun () -> Toolchain.Pipeline.verify_default := false)
+      (fun () -> run bench seed nvec)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Compile the corpus under every preset, profile, arch and a few \
+          random valid flag vectors with the IR verifier on after every \
+          pass.")
+    Term.(const run $ bench $ seed $ vectors)
+
+let analyze_cmd =
+  let bench =
+    Arg.(value & opt (some string) None
+         & info [ "bench" ]
+             ~doc:"Restrict linting to one benchmark (default: whole corpus).")
+  in
+  let allowlist =
+    Arg.(value & opt (some file) None
+         & info [ "allowlist" ]
+             ~doc:
+               "File of known findings (one per line, as printed); findings \
+                on the list are suppressed and the exit status only reflects \
+                new ones.")
+  in
+  let run bench source allowlist =
+    let allowed = Hashtbl.create 64 in
+    (match allowlist with
+    | None -> ()
+    | Some path ->
+      let ic = open_in path in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && not (String.length line > 0 && line.[0] = '#') then
+             Hashtbl.replace allowed line ()
+         done
+       with End_of_file -> ());
+      close_in ic);
+    let benches =
+      match (bench, source) with
+      | _, Some _ ->
+        let program, b = load_program ~bench:"" ~source in
+        [ (b, program) ]
+      | Some n, None ->
+        let b = Corpus.find n in
+        [ (b, Corpus.program b) ]
+      | None, None -> List.map (fun b -> (b, Corpus.program b)) Corpus.all
+    in
+    let fresh = ref 0 and suppressed = ref 0 in
+    List.iter
+      (fun ((b : Corpus.benchmark), program) ->
+        (* lint the raw lowering: -O0 IR, before any pass can fold away a
+           source-level oddity the lint is meant to flag *)
+        let ir =
+          Vir.Lower.lower_program
+            ~options:
+              { Vir.Lower.merge_conditionals = false; vectorize = false }
+            program
+        in
+        List.iter
+          (fun f ->
+            let line =
+              Printf.sprintf "%s/%s" b.Corpus.bname
+                (Analysis.Lint.finding_to_string f)
+            in
+            if Hashtbl.mem allowed line then incr suppressed
+            else begin
+              incr fresh;
+              print_endline line
+            end)
+          (Analysis.Lint.lint_program ir))
+      benches;
+    Printf.printf "lint: %d finding(s), %d suppressed by allowlist\n" !fresh
+      !suppressed;
+    if !fresh > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the pedantic MinC lint (unused locals, dead stores, \
+          always-true conditions, unreachable switch arms) over the corpus.")
+    Term.(const run $ bench $ source_arg $ allowlist)
+
 let list_cmd =
   let run () =
     List.iter
@@ -253,4 +416,4 @@ let () =
     Cmd.info "bintuner_cli" ~version:"1.0.0"
       ~doc:"Auto-tuning of binary code differences (PLDI'21 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; diff_cmd; ncd_cmd; scan_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; diff_cmd; ncd_cmd; scan_cmd; verify_cmd; analyze_cmd; list_cmd ]))

@@ -1,0 +1,541 @@
+(* Generic worklist dataflow solver over [Vir.Ir] control-flow graphs.
+
+   A client provides a lattice ([bottom]/[join]/[equal], with [widen] for
+   infinite-height domains) and a per-block [transfer] function; [Make]
+   returns a fixpoint solver usable in either direction.  The solver is
+   deterministic: blocks are seeded in layout order (reverse layout order
+   for backward problems) into a FIFO worklist, so two runs over the same
+   function produce the same tables — the fitness pipeline depends on
+   byte-identical binaries at any worker count.
+
+   Facts are indexed by block label.  [solve] returns two tables,
+   ([in_facts], [out_facts]): the fact at block entry and at block exit,
+   regardless of direction.  For a backward problem the solver computes
+   [out] by joining successor [in]s and obtains [in] by transfer; for a
+   forward problem it is the mirror image. *)
+
+open Vir.Ir
+module Iset = Set.Make (Int)
+module Imap = Map.Make (Int)
+
+type direction = Forward | Backward
+
+module type DOMAIN = sig
+  type t
+
+  val direction : direction
+
+  val boundary : func -> t
+  (** Fact at the CFG boundary: function entry for a forward problem,
+      every exit block (no successors) for a backward one. *)
+
+  val bottom : func -> t
+  (** Initial fact for every block; must be the identity of [join]. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old_input new_input] replaces [join] once a block's input has
+      been recomputed [widen_delay] times; must over-approximate both
+      arguments and stabilize infinite ascending chains.  Finite-height
+      domains simply reuse [join]. *)
+
+  val transfer : func -> block -> t -> t
+end
+
+(* Visits of one block before [widen] replaces plain joining.  Small
+   enough to bound interval iteration on deep loop nests, large enough to
+   keep short chains exact. *)
+let widen_delay = 4
+
+module Make (D : DOMAIN) = struct
+  type fact = D.t
+
+  let solve (f : func) : (int, fact) Hashtbl.t * (int, fact) Hashtbl.t =
+    let n = List.length f.blocks in
+    let in_facts = Hashtbl.create (2 * n) in
+    let out_facts = Hashtbl.create (2 * n) in
+    let by_label = Hashtbl.create (2 * n) in
+    List.iter
+      (fun b ->
+        Hashtbl.replace by_label b.label b;
+        Hashtbl.replace in_facts b.label (D.bottom f);
+        Hashtbl.replace out_facts b.label (D.bottom f))
+      f.blocks;
+    let preds = predecessors f in
+    let entry = match f.blocks with b :: _ -> b.label | [] -> -1 in
+    let queue = Queue.create () in
+    let queued = Hashtbl.create (2 * n) in
+    let push l =
+      if Hashtbl.mem by_label l && not (Hashtbl.mem queued l) then begin
+        Hashtbl.replace queued l ();
+        Queue.add l queue
+      end
+    in
+    (match D.direction with
+    | Forward -> List.iter (fun b -> push b.label) f.blocks
+    | Backward -> List.iter (fun b -> push b.label) (List.rev f.blocks));
+    let visits = Hashtbl.create (2 * n) in
+    while not (Queue.is_empty queue) do
+      let l = Queue.take queue in
+      Hashtbl.remove queued l;
+      let b = Hashtbl.find by_label l in
+      (* the side fed to [transfer]: in for forward, out for backward *)
+      let neighbour_facts =
+        match D.direction with
+        | Forward ->
+          (try Hashtbl.find preds l with Not_found -> [])
+          |> List.filter_map (fun p -> Hashtbl.find_opt out_facts p)
+        | Backward ->
+          successors b.term
+          |> List.filter_map (fun s -> Hashtbl.find_opt in_facts s)
+      in
+      let at_boundary =
+        match D.direction with
+        | Forward -> l = entry
+        | Backward -> successors b.term = []
+      in
+      let seed = if at_boundary then D.boundary f else D.bottom f in
+      let joined = List.fold_left D.join seed neighbour_facts in
+      let stored_input, stored_output =
+        match D.direction with
+        | Forward -> (Hashtbl.find in_facts l, Hashtbl.find out_facts l)
+        | Backward -> (Hashtbl.find out_facts l, Hashtbl.find in_facts l)
+      in
+      let v = try Hashtbl.find visits l with Not_found -> 0 in
+      Hashtbl.replace visits l (v + 1);
+      let input =
+        if v >= widen_delay then D.widen stored_input joined else joined
+      in
+      let output = D.transfer f b input in
+      (match D.direction with
+      | Forward -> Hashtbl.replace in_facts l input
+      | Backward -> Hashtbl.replace out_facts l input);
+      if not (D.equal output stored_output) then begin
+        (match D.direction with
+        | Forward -> Hashtbl.replace out_facts l output
+        | Backward -> Hashtbl.replace in_facts l output);
+        let dependents =
+          match D.direction with
+          | Forward -> successors b.term
+          | Backward -> ( try Hashtbl.find preds l with Not_found -> [])
+        in
+        List.iter push dependents
+      end
+    done;
+    (in_facts, out_facts)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instance: liveness (backward, set-of-registers lattice)             *)
+(* ------------------------------------------------------------------ *)
+
+(* Scalar and vector registers live in separate namespaces with separate
+   use/def accessors, so liveness is parameterized over the extraction
+   functions.  Block-level use/def summaries are precomputed once per
+   [solve] call — [transfer] runs on every worklist visit and the huge
+   straight-line blocks full unrolling produces make rescanning
+   quadratic. *)
+let liveness_solver ~uses ~def ~term_uses (f : func) :
+    (int, Iset.t) Hashtbl.t * (int, Iset.t) Hashtbl.t =
+  let summary = Hashtbl.create 32 in
+  List.iter
+    (fun b ->
+      let use = ref Iset.empty and defs = ref Iset.empty in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun r -> if not (Iset.mem r !defs) then use := Iset.add r !use)
+            (uses i);
+          match def i with
+          | Some d -> defs := Iset.add d !defs
+          | None -> ())
+        b.instrs;
+      List.iter
+        (fun r -> if not (Iset.mem r !defs) then use := Iset.add r !use)
+        (term_uses b.term);
+      Hashtbl.replace summary b.label (!use, !defs))
+    f.blocks;
+  let module D = struct
+    type t = Iset.t
+
+    let direction = Backward
+    let boundary _ = Iset.empty
+    let bottom _ = Iset.empty
+    let equal = Iset.equal
+    let join = Iset.union
+    let widen = Iset.union
+
+    let transfer _ b out =
+      let use, defs = Hashtbl.find summary b.label in
+      Iset.union use (Iset.diff out defs)
+  end in
+  let module S = Make (D) in
+  S.solve f
+
+module Liveness = struct
+  (* scalar-register liveness; [Loop_branch] counters are uses via
+     [term_uses] *)
+  let solve f =
+    liveness_solver ~uses:instr_uses ~def:instr_def ~term_uses f
+end
+
+module Vliveness = struct
+  (* vector-register liveness: a reduction accumulator lives from its
+     splat in the preheader, through the loop body, to the reduce after
+     the loop *)
+  let solve f =
+    liveness_solver ~uses:instr_vuses ~def:instr_vdef
+      ~term_uses:(fun _ -> [])
+      f
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instance: dominators (forward, intersection lattice)                *)
+(* ------------------------------------------------------------------ *)
+
+module Dominators = struct
+  (* dom(b) = {b} ∪ ⋂ over predecessors p of dom(p); initialized to the
+     full label set so the solver converges down to the greatest
+     fixpoint, which is the true dominator relation for every reachable
+     block.  Unreachable blocks stay at the full set (the identity of
+     intersection), so they never pollute reachable results. *)
+  let solve (f : func) =
+    let all =
+      List.fold_left (fun acc b -> Iset.add b.label acc) Iset.empty f.blocks
+    in
+    let module D = struct
+      type t = Iset.t
+
+      let direction = Forward
+      let boundary _ = Iset.empty
+      let bottom _ = all
+      let equal = Iset.equal
+      let join = Iset.inter
+      let widen = Iset.inter
+      let transfer _ b input = Iset.add b.label input
+    end in
+    let module S = Make (D) in
+    let _, out = S.solve f in
+    out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instance: reaching definitions (forward, set-of-sites lattice)      *)
+(* ------------------------------------------------------------------ *)
+
+module Reaching = struct
+  (* A definition site is (block label, instruction index, register);
+     parameters are sites (-1, i, r).  A register with no reaching
+     definition reads as 0 (interpreter and codegen agree on that for
+     never-defined registers), so the empty set is meaningful. *)
+  module Site = struct
+    type t = int * int * int
+
+    let compare = compare
+  end
+
+  module Sset = Set.Make (Site)
+
+  let kill_reg r s = Sset.filter (fun (_, _, r') -> r' <> r) s
+
+  let block_transfer b s =
+    let s = ref s in
+    List.iteri
+      (fun idx i ->
+        match instr_def i with
+        | Some d -> s := Sset.add (b.label, idx, d) (kill_reg d !s)
+        | None -> ())
+      b.instrs;
+    !s
+
+  let solve (f : func) =
+    let module D = struct
+      type t = Sset.t
+
+      let direction = Forward
+
+      let boundary f =
+        List.fold_left
+          (fun acc (i, p) -> Sset.add (-1, i, p) acc)
+          Sset.empty
+          (List.mapi (fun i p -> (i, p)) f.params)
+
+      let bottom _ = Sset.empty
+      let equal = Sset.equal
+      let join = Sset.union
+      let widen = Sset.union
+      let transfer _ = block_transfer
+    end in
+    let module S = Make (D) in
+    S.solve f
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instance: constant propagation (forward, flat lattice per register)  *)
+(* ------------------------------------------------------------------ *)
+
+module Constprop = struct
+  type cval = Const of int | Top
+
+  (* [Unreached] is the solver bottom (identity of join); inside [Env],
+     an absent register means "still holds its initial 0" — the
+     interpreter and the VM both zero-initialize register state, so this
+     is exact, and the canonical form never stores [Const 0]. *)
+  type t = Unreached | Env of cval Imap.t
+
+  let lookup env r =
+    match Imap.find_opt r env with Some v -> v | None -> Const 0
+
+  let set env r v =
+    match v with Const 0 -> Imap.remove r env | _ -> Imap.add r v env
+
+  let join_cval a b =
+    match (a, b) with
+    | Const x, Const y when x = y -> Const x
+    | _ -> Top
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env ea, Env eb ->
+      Env
+        (Imap.merge
+           (fun _ va vb ->
+             let v =
+               join_cval
+                 (Option.value va ~default:(Const 0))
+                 (Option.value vb ~default:(Const 0))
+             in
+             match v with Const 0 -> None | _ -> Some v)
+           ea eb)
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env ea, Env eb -> Imap.equal ( = ) ea eb
+    | _ -> false
+
+  let operand env = function
+    | Imm n -> Const n
+    | Reg r -> lookup env r
+
+  let eval_instr env i =
+    match instr_def i with
+    | None -> env
+    | Some d -> (
+      match i with
+      | Mov (_, src) -> set env d (operand env src)
+      | Bin (op, _, a, b) -> (
+        match (operand env a, operand env b) with
+        | Const x, Const y -> set env d (Const (eval_binop op x y))
+        | _ -> set env d Top)
+      | Un (op, _, a) -> (
+        match operand env a with
+        | Const x -> set env d (Const (eval_unop op x))
+        | Top -> set env d Top)
+      | Select (_, c, x, y) -> (
+        match operand env c with
+        | Const n -> set env d (operand env (if n <> 0 then x else y))
+        | Top -> set env d (join_cval (operand env x) (operand env y)))
+      | Load _ | Slot_load _ | Call _ | Vreduce _ | Read_input _
+      | Input_len _ ->
+        set env d Top
+      | Store _ | Slot_store _ | Vload _ | Vstore _ | Vbin _ | Vsplat _
+      | Vpack _ | Print_int _ | Print_char _ ->
+        env)
+
+  let block_transfer b = function
+    | Unreached -> Unreached
+    | Env env -> Env (List.fold_left eval_instr env b.instrs)
+
+  let solve (f : func) =
+    let module D = struct
+      type t' = t
+      type t = t'
+
+      let direction = Forward
+
+      let boundary f =
+        Env
+          (List.fold_left (fun env p -> Imap.add p Top env) Imap.empty f.params)
+
+      let bottom _ = Unreached
+      let equal = equal
+      let join = join
+      let widen = join
+      let transfer _ = block_transfer
+    end in
+    let module S = Make (D) in
+    S.solve f
+end
+
+(* ------------------------------------------------------------------ *)
+(* Instance: integer intervals (forward, widened)                      *)
+(* ------------------------------------------------------------------ *)
+
+module Interval = struct
+  (* [min_int]/[max_int] double as -∞/+∞; every arithmetic helper
+     saturates, so a bound that would overflow becomes infinite rather
+     than wrapping. *)
+  type itv = { lo : int; hi : int }
+
+  let top = { lo = min_int; hi = max_int }
+  let const n = { lo = n; hi = n }
+  let zero = const 0
+  let is_top v = v.lo = min_int && v.hi = max_int
+
+  let sat_add a b =
+    if a = min_int || b = min_int then min_int
+    else if a = max_int || b = max_int then max_int
+    else
+      let s = a + b in
+      if a > 0 && b > 0 && s < 0 then max_int
+      else if a < 0 && b < 0 && s >= 0 then min_int
+      else s
+
+  let sat_neg a = if a = min_int then max_int else if a = max_int then min_int else -a
+
+  (* products only on comfortably small finite bounds; anything else is ∞ *)
+  let sat_mul a b =
+    let big = 1 lsl 30 in
+    if abs a >= big || abs b >= big then
+      if (a > 0 && b > 0) || (a < 0 && b < 0) then max_int else min_int
+    else a * b
+
+  let add x y = { lo = sat_add x.lo y.lo; hi = sat_add x.hi y.hi }
+  let neg x = { lo = sat_neg x.hi; hi = sat_neg x.lo }
+  let sub x y = add x (neg y)
+
+  let mul x y =
+    if is_top x || is_top y then top
+    else
+      let cands =
+        [ sat_mul x.lo y.lo; sat_mul x.lo y.hi; sat_mul x.hi y.lo;
+          sat_mul x.hi y.hi ]
+      in
+      {
+        lo = List.fold_left min max_int cands;
+        hi = List.fold_left max min_int cands;
+      }
+
+  let hull x y = { lo = min x.lo y.lo; hi = max x.hi y.hi }
+  let bool_itv = { lo = 0; hi = 1 }
+
+  let eval_bin op x y =
+    match op with
+    | Add -> add x y
+    | Sub -> sub x y
+    | Mul -> mul x y
+    | Slt | Sle | Sgt | Sge | Seq | Sne -> bool_itv
+    | Mod ->
+      (* OCaml [mod] follows the dividend's sign; [eval_binop] maps a
+         zero divisor to 0 *)
+      if y.lo = y.hi && y.lo > 0 && y.lo < max_int then
+        if x.lo >= 0 then { lo = 0; hi = y.lo - 1 }
+        else { lo = -(y.lo - 1); hi = y.lo - 1 }
+      else top
+    | And ->
+      (* a land m with a constant non-negative mask is within [0, m] *)
+      if y.lo = y.hi && y.lo >= 0 then { lo = 0; hi = y.lo }
+      else if x.lo = x.hi && x.lo >= 0 then { lo = 0; hi = x.lo }
+      else top
+    | Div | Or | Xor | Shl | Shr -> top
+
+  type t = Unreached | Env of itv Imap.t
+  (* absent register = still 0, as in [Constprop] *)
+
+  let lookup env r = match Imap.find_opt r env with Some v -> v | None -> zero
+
+  let set env r v =
+    if v.lo = 0 && v.hi = 0 then Imap.remove r env else Imap.add r v env
+
+  let join a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env ea, Env eb ->
+      Env
+        (Imap.merge
+           (fun _ va vb ->
+             let v =
+               hull (Option.value va ~default:zero)
+                 (Option.value vb ~default:zero)
+             in
+             if v.lo = 0 && v.hi = 0 then None else Some v)
+           ea eb)
+
+  let widen a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Env ea, Env eb ->
+      Env
+        (Imap.merge
+           (fun _ va vb ->
+             let o = Option.value va ~default:zero in
+             let n = Option.value vb ~default:zero in
+             let v =
+               {
+                 lo = (if n.lo < o.lo then min_int else o.lo);
+                 hi = (if n.hi > o.hi then max_int else o.hi);
+               }
+             in
+             if v.lo = 0 && v.hi = 0 then None else Some v)
+           ea eb)
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Env ea, Env eb -> Imap.equal ( = ) ea eb
+    | _ -> false
+
+  let operand env = function Imm n -> const n | Reg r -> lookup env r
+
+  let eval_instr env i =
+    match instr_def i with
+    | None -> env
+    | Some d -> (
+      match i with
+      | Mov (_, src) -> set env d (operand env src)
+      | Bin (op, _, a, b) -> set env d (eval_bin op (operand env a) (operand env b))
+      | Un (Neg, _, a) -> set env d (neg (operand env a))
+      | Un (Not, _, a) ->
+        let x = operand env a in
+        (* lnot x = -x - 1 *)
+        set env d (sub (neg x) (const 1))
+      | Select (_, c, x, y) -> (
+        let vc = operand env c in
+        if vc.lo > 0 || vc.hi < 0 then set env d (operand env x)
+        else if vc.lo = 0 && vc.hi = 0 then set env d (operand env y)
+        else set env d (hull (operand env x) (operand env y)))
+      | Load _ | Slot_load _ | Call _ | Vreduce _ | Read_input _
+      | Input_len _ ->
+        set env d top
+      | Store _ | Slot_store _ | Vload _ | Vstore _ | Vbin _ | Vsplat _
+      | Vpack _ | Print_int _ | Print_char _ ->
+        env)
+
+  let block_transfer b = function
+    | Unreached -> Unreached
+    | Env env -> Env (List.fold_left eval_instr env b.instrs)
+
+  let solve (f : func) =
+    let module D = struct
+      type t' = t
+      type t = t'
+
+      let direction = Forward
+
+      let boundary f =
+        Env
+          (List.fold_left (fun env p -> Imap.add p top env) Imap.empty f.params)
+
+      let bottom _ = Unreached
+      let equal = equal
+      let join = join
+      let widen = widen
+      let transfer _ = block_transfer
+    end in
+    let module S = Make (D) in
+    S.solve f
+end

@@ -1,0 +1,384 @@
+(* LLVM-verifier-style structural well-formedness checks over [Vir.Ir].
+
+   The pass pipeline's whole claim — NCD/BinHunt differences measure code
+   *shape*, never *breakage* — rests on every flag-gated pass preserving
+   semantics.  End-to-end VM differential tests catch a miscompile but
+   localize nothing in a 25-pass pipeline; running [verify_func] between
+   passes turns "some pass broke openssl at -O3" into "pass licm left a
+   branch to a deleted block".
+
+   Checks, per function:
+     - block list is non-empty and labels are unique and within
+       [0, next_label) — every label must come from [fresh_label];
+     - every terminator target names an existing block (exactly one
+       terminator per block is already enforced by the [block] type);
+     - the successor and predecessor views of the CFG agree edge for
+       edge;
+     - [Call]/[Tail_call] name a function of the module and pass exactly
+       as many arguments as it has parameters;
+     - [Slot_load]/[Slot_store] indices are within [0, nslots);
+     - scalar registers are within [0, next_reg), vector registers within
+       [0, next_vreg) — a register must come from [fresh_reg]/[fresh_vreg];
+     - [Load]/[Store]/[Vload]/[Vstore] name a module global or one of the
+       function's own local arrays;
+     - def-before-use: a register read that is not definitely assigned on
+       all paths from entry yields a machine-state-dependent value after
+       register allocation (the VM keeps one zeroed global register file,
+       the interpreter reads 0) — with two sanctioned exceptions.  A
+       register with *no* definition anywhere in the function reads as 0
+       in both the IR interpreter and generated code.  And if-conversion
+       deliberately speculates pure arm instructions above their branch:
+       the junk a speculated instruction reads on the paths that would
+       not have executed it flows only into [Select] data inputs that
+       pick the other arm on exactly those paths.  So the scalar check is
+       a taint analysis: maybe-undefined reads taint their results, taint
+       propagates through pure arithmetic, is shielded at [Select] data
+       inputs, and is an error only when it reaches an observable sink —
+       memory, I/O, a call boundary, an address, a select condition,
+       control flow or a return value.  Vector registers are never
+       speculated, so the vector namespace keeps the strict
+       definitely-assigned-on-all-paths rule. *)
+
+open Vir.Ir
+module Iset = Dataflow.Iset
+
+type error = { check : string; func : string; detail : string }
+
+let error_to_string e = Printf.sprintf "%s: [%s] %s" e.func e.check e.detail
+
+let errors_to_string errs =
+  String.concat "; " (List.map error_to_string errs)
+
+(* Definite assignment over an arbitrary register namespace: the set of
+   registers written on every path from entry to each block's start.
+   [Unreached] is the identity of the path intersection, so unreachable
+   blocks are recognizable (and skipped) rather than reported on. *)
+type definite = Unreached | Defined of Iset.t
+
+let definite_solver ~def ~boundary (f : func) =
+  let module D = struct
+    type t = definite
+
+    let direction = Dataflow.Forward
+    let boundary _ = Defined boundary
+    let bottom _ = Unreached
+
+    let equal a b =
+      match (a, b) with
+      | Unreached, Unreached -> true
+      | Defined x, Defined y -> Iset.equal x y
+      | _ -> false
+
+    let join a b =
+      match (a, b) with
+      | Unreached, x | x, Unreached -> x
+      | Defined x, Defined y -> Defined (Iset.inter x y)
+
+    let widen a b =
+      match (a, b) with
+      | Unreached, x | x, Unreached -> x
+      | Defined x, Defined y -> Defined (Iset.inter x y)
+
+    let transfer _ b input =
+      match input with
+      | Unreached -> Unreached
+      | Defined s ->
+        Defined
+          (List.fold_left
+             (fun acc i ->
+               match def i with Some d -> Iset.add d acc | None -> acc)
+             s b.instrs)
+  end in
+  let module S = Dataflow.Make (D) in
+  S.solve f
+
+let verify_func (p : program) (f : func) : error list =
+  let errs = ref [] in
+  let err check fmt =
+    Printf.ksprintf
+      (fun detail -> errs := { check; func = f.fname; detail } :: !errs)
+      fmt
+  in
+  if f.blocks = [] then begin
+    err "blocks" "function has no blocks";
+    List.rev !errs
+  end
+  else begin
+    (* --- labels --- *)
+    let labels = Hashtbl.create 32 in
+    List.iter
+      (fun b ->
+        if Hashtbl.mem labels b.label then
+          err "labels" "duplicate block label L%d" b.label;
+        if b.label < 0 || b.label >= f.next_label then
+          err "labels" "block label L%d outside [0, next_label=%d)" b.label
+            f.next_label;
+        Hashtbl.replace labels b.label ())
+      f.blocks;
+    (* --- terminator targets --- *)
+    List.iter
+      (fun b ->
+        List.iter
+          (fun t ->
+            if not (Hashtbl.mem labels t) then
+              err "target" "L%d: %s targets missing block L%d" b.label
+                (term_to_string b.term) t)
+          (successors b.term))
+      f.blocks;
+    (* --- successor/predecessor edge agreement --- *)
+    let preds = predecessors f in
+    let succ_edges = edge_count f in
+    let pred_edges =
+      Hashtbl.fold (fun _ ps acc -> acc + List.length ps) preds 0
+    in
+    if succ_edges <> pred_edges then
+      err "cfg" "edge views disagree: %d successor edges, %d predecessor edges"
+        succ_edges pred_edges;
+    Hashtbl.iter
+      (fun l ps ->
+        List.iter
+          (fun pl ->
+            match List.find_opt (fun b -> b.label = pl) f.blocks with
+            | Some pb when List.mem l (successors pb.term) -> ()
+            | Some _ ->
+              err "cfg" "predecessor edge L%d -> L%d has no successor edge" pl l
+            | None -> err "cfg" "predecessor L%d of L%d is not a block" pl l)
+          ps)
+      preds;
+    (* --- per-instruction structural checks --- *)
+    let fn_arity = Hashtbl.create 16 in
+    List.iter
+      (fun (g : func) ->
+        Hashtbl.replace fn_arity g.fname (List.length g.params))
+      p.funcs;
+    let arrays = Hashtbl.create 16 in
+    List.iter (fun (n, _) -> Hashtbl.replace arrays n ()) p.globals;
+    List.iter (fun (n, _, _) -> Hashtbl.replace arrays n ()) f.local_arrays;
+    let check_call where name args =
+      match Hashtbl.find_opt fn_arity name with
+      | None -> err "call" "L%d: call to unknown function %s" where name
+      | Some arity ->
+        if List.length args <> arity then
+          err "call" "L%d: %s expects %d arguments, got %d" where name arity
+            (List.length args)
+    in
+    let check_reg where r =
+      if r < 0 || r >= f.next_reg then
+        err "reg" "L%d: register r%d outside [0, next_reg=%d)" where r
+          f.next_reg
+    in
+    let check_vreg where v =
+      if v < 0 || v >= f.next_vreg then
+        err "vreg" "L%d: vector register v%d outside [0, next_vreg=%d)" where v
+          f.next_vreg
+    in
+    let check_slot where s =
+      if s < 0 || s >= f.nslots then
+        err "slot" "L%d: slot %d outside [0, nslots=%d)" where s f.nslots
+    in
+    let check_array where n =
+      if not (Hashtbl.mem arrays n) then
+        err "array" "L%d: unknown array or global %s" where n
+    in
+    List.iter (check_reg (-1)) f.params;
+    List.iter
+      (fun b ->
+        List.iter
+          (fun i ->
+            List.iter (check_reg b.label) (instr_uses i);
+            (match instr_def i with
+            | Some d -> check_reg b.label d
+            | None -> ());
+            List.iter (check_vreg b.label) (instr_vuses i);
+            (match instr_vdef i with
+            | Some d -> check_vreg b.label d
+            | None -> ());
+            match i with
+            | Slot_load (_, s) | Slot_store (s, _) -> check_slot b.label s
+            | Call (_, name, args) -> check_call b.label name args
+            | Load (_, g, _) | Store (g, _, _) | Vload (_, g, _)
+            | Vstore (g, _, _) ->
+              check_array b.label g
+            | Bin _ | Un _ | Mov _ | Select _ | Vbin _ | Vsplat _ | Vpack _
+            | Vreduce _ | Print_int _ | Print_char _ | Read_input _
+            | Input_len _ ->
+              ())
+          b.instrs;
+        List.iter (check_reg b.label) (term_uses b.term);
+        match b.term with
+        | Tail_call (name, args) -> check_call b.label name args
+        | Ret _ | Jmp _ | Br _ | Switch _ | Loop_branch _ -> ())
+      f.blocks;
+    (* --- def-before-use (only meaningful on a structurally sound CFG) --- *)
+    if !errs = [] then begin
+      let never_defined ns_def =
+        let defined = ref Iset.empty in
+        List.iter
+          (fun b ->
+            List.iter
+              (fun i ->
+                match ns_def i with
+                | Some d -> defined := Iset.add d !defined
+                | None -> ())
+              b.instrs)
+          f.blocks;
+        !defined
+      in
+      let check_namespace ~what ~def ~uses ~term_uses ~boundary =
+        let has_def = never_defined def in
+        let in_facts, _ = definite_solver ~def ~boundary f in
+        List.iter
+          (fun b ->
+            match Hashtbl.find_opt in_facts b.label with
+            | None | Some Unreached -> () (* dead code never executes *)
+            | Some (Defined at_entry) ->
+              let defined = ref at_entry in
+              let check_use r =
+                if
+                  (not (Iset.mem r !defined))
+                  && Iset.mem r has_def
+                then
+                  err "def-before-use"
+                    "L%d: %s %d read but only assigned on some paths" b.label
+                    what r
+              in
+              List.iter
+                (fun i ->
+                  List.iter check_use (uses i);
+                  match def i with
+                  | Some d -> defined := Iset.add d !defined
+                  | None -> ())
+                b.instrs;
+              List.iter check_use (term_uses b.term))
+          f.blocks
+      in
+      (* Scalar namespace: taint maybe-undefined reads, propagate through
+         pure ops, shield at select data inputs, report at sinks (see the
+         header comment). *)
+      let has_def = never_defined instr_def in
+      let in_facts, _ =
+        definite_solver ~def:instr_def ~boundary:(Iset.of_list f.params) f
+      in
+      let assigned_at l =
+        match Hashtbl.find_opt in_facts l with
+        | None | Some Unreached -> None
+        | Some (Defined s) -> Some s
+      in
+      let tainted_op (assigned, t) = function
+        | Imm _ -> false
+        | Reg r ->
+          Iset.mem r t || ((not (Iset.mem r assigned)) && Iset.mem r has_def)
+      in
+      let step ((assigned, t) as state) i =
+        let data_taint =
+          match i with
+          | Bin (_, _, a, b) -> tainted_op state a || tainted_op state b
+          | Un (_, _, a) | Mov (_, a) -> tainted_op state a
+          | _ -> false
+        in
+        match instr_def i with
+        | Some d ->
+          ( Iset.add d assigned,
+            if data_taint then Iset.add d t else Iset.remove d t )
+        | None -> state
+      in
+      let module T = struct
+        type t = Iset.t
+
+        let direction = Dataflow.Forward
+        let boundary _ = Iset.empty
+        let bottom _ = Iset.empty
+        let equal = Iset.equal
+        let join = Iset.union
+        let widen = Iset.union
+
+        let transfer _ b tin =
+          match assigned_at b.label with
+          | None -> Iset.empty
+          | Some assigned ->
+            snd (List.fold_left step (assigned, tin) b.instrs)
+      end in
+      let module TS = Dataflow.Make (T) in
+      let taint_in, _ = TS.solve f in
+      List.iter
+        (fun b ->
+          match assigned_at b.label with
+          | None -> () (* dead code never executes *)
+          | Some assigned0 ->
+            let t0 =
+              match Hashtbl.find_opt taint_in b.label with
+              | Some t -> t
+              | None -> Iset.empty
+            in
+            let state = ref (assigned0, t0) in
+            let bad what o =
+              match o with
+              | Imm _ -> ()
+              | Reg r ->
+                if tainted_op !state o then
+                  err "undef-use"
+                    "L%d: possibly-undefined register %d reaches %s" b.label
+                    r what
+            in
+            List.iter
+              (fun i ->
+                (match i with
+                | Bin _ | Un _ | Mov _ | Slot_load _ | Input_len _ -> ()
+                | Select (_, c, _, _) -> bad "a select condition" c
+                | Load (_, _, idx) -> bad "a load address" idx
+                | Store (_, idx, v) ->
+                  bad "a store address" idx;
+                  bad "a stored value" v
+                | Slot_store (_, v) -> bad "a stored value" v
+                | Call (_, _, args) -> List.iter (bad "a call argument") args
+                | Vload (_, _, idx) -> bad "a vector load address" idx
+                | Vstore (_, idx, _) -> bad "a vector store address" idx
+                | Vbin _ | Vreduce _ -> ()
+                | Vsplat (_, o) -> bad "a vector splat" o
+                | Vpack (_, os) -> List.iter (bad "a vector lane") os
+                | Print_int o | Print_char o -> bad "program output" o
+                | Read_input (_, idx) -> bad "an input index" idx);
+                state := step !state i)
+              b.instrs;
+            (match b.term with
+            | Ret (Some o) -> bad "the return value" o
+            | Ret None | Jmp _ -> ()
+            | Br (c, _, _) -> bad "a branch condition" c
+            | Switch (o, _, _) -> bad "a switch scrutinee" o
+            | Tail_call (_, args) -> List.iter (bad "a call argument") args
+            | Loop_branch (r, _, _) -> bad "a loop counter" (Reg r)))
+        f.blocks;
+      (* Vector namespace: strict definite assignment. *)
+      check_namespace ~what:"vector register" ~def:instr_vdef
+        ~uses:instr_vuses
+        ~term_uses:(fun _ -> [])
+        ~boundary:Iset.empty
+    end;
+    List.rev !errs
+  end
+
+let verify_program (p : program) : error list =
+  let errs = ref [] in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (f : func) ->
+      if Hashtbl.mem seen f.fname then
+        errs :=
+          {
+            check = "module";
+            func = f.fname;
+            detail = "duplicate function name";
+          }
+          :: !errs;
+      Hashtbl.replace seen f.fname ())
+    p.funcs;
+  let gseen = Hashtbl.create 16 in
+  List.iter
+    (fun (n, _) ->
+      if Hashtbl.mem gseen n then
+        errs :=
+          { check = "module"; func = n; detail = "duplicate global name" }
+          :: !errs;
+      Hashtbl.replace gseen n ())
+    p.globals;
+  List.fold_left (fun acc f -> acc @ verify_func p f) (List.rev !errs) p.funcs

@@ -195,52 +195,7 @@ let intervals_of_func (f : Ir.func) =
    body, to the reduce after the loop), so block-level vector liveness is
    required — position-only intervals break as soon as a layout pass
    reorders the blocks. *)
-let vliveness (f : Ir.func) =
-  let use_def = Hashtbl.create 16 in
-  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
-  List.iter
-    (fun (b : Ir.block) ->
-      let use = ref Iset.empty and def = ref Iset.empty in
-      List.iter
-        (fun i ->
-          List.iter
-            (fun r -> if not (Iset.mem r !def) then use := Iset.add r !use)
-            (Ir.instr_vuses i);
-          match Ir.instr_vdef i with
-          | Some d -> def := Iset.add d !def
-          | None -> ())
-        b.instrs;
-      Hashtbl.replace use_def b.label (!use, !def);
-      Hashtbl.replace live_in b.label Iset.empty;
-      Hashtbl.replace live_out b.label Iset.empty)
-    f.blocks;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun (b : Ir.block) ->
-        let out =
-          List.fold_left
-            (fun acc s ->
-              match Hashtbl.find_opt live_in s with
-              | Some li -> Iset.union acc li
-              | None -> acc)
-            Iset.empty
-            (Ir.successors b.term)
-        in
-        let use, def = Hashtbl.find use_def b.label in
-        let inn = Iset.union use (Iset.diff out def) in
-        if not (Iset.equal out (Hashtbl.find live_out b.label)) then begin
-          Hashtbl.replace live_out b.label out;
-          changed := true
-        end;
-        if not (Iset.equal inn (Hashtbl.find live_in b.label)) then begin
-          Hashtbl.replace live_in b.label inn;
-          changed := true
-        end)
-      (List.rev f.blocks)
-  done;
-  (live_in, live_out)
+let vliveness (f : Ir.func) = Analysis.Dataflow.Vliveness.solve f
 
 let vintervals_of_func (f : Ir.func) =
   let live_in, live_out = vliveness f in

@@ -1,5 +1,5 @@
 open Vir.Ir
-module Iset = Set.Make (Int)
+module Iset = Analysis.Dataflow.Iset
 
 let reachable f =
   let block_table = Hashtbl.create 16 in
@@ -16,50 +16,20 @@ let reachable f =
   (match f.blocks with b :: _ -> go b.label | [] -> ());
   !seen
 
+(* Dominator sets on the shared worklist solver (greatest fixpoint of
+   dom(b) = {b} ∪ ⋂ preds).  The historical contract is preserved: the
+   table has entries for reachable blocks only, and every set contains
+   only reachable labels. *)
 let dominators f =
   let reach = reachable f in
-  let blocks = List.filter (fun b -> Iset.mem b.label reach) f.blocks in
-  let labels = List.map (fun b -> b.label) blocks in
-  let all = Iset.of_list labels in
-  let entry = (entry_block f).label in
-  let preds_tbl = predecessors f in
+  let full = Analysis.Dataflow.Dominators.solve f in
   let dom = Hashtbl.create 16 in
   List.iter
-    (fun l ->
-      if l = entry then Hashtbl.replace dom l (Iset.singleton entry)
-      else Hashtbl.replace dom l all)
-    labels;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun l ->
-        if l <> entry then begin
-          let preds =
-            (try Hashtbl.find preds_tbl l with Not_found -> [])
-            |> List.filter (fun p -> Iset.mem p reach)
-          in
-          let inter =
-            List.fold_left
-              (fun acc p ->
-                let dp = Hashtbl.find dom p in
-                match acc with
-                | None -> Some dp
-                | Some s -> Some (Iset.inter s dp))
-              None preds
-          in
-          let nd =
-            match inter with
-            | None -> Iset.singleton l
-            | Some s -> Iset.add l s
-          in
-          if not (Iset.equal nd (Hashtbl.find dom l)) then begin
-            Hashtbl.replace dom l nd;
-            changed := true
-          end
-        end)
-      labels
-  done;
+    (fun b ->
+      if Iset.mem b.label reach then
+        Hashtbl.replace dom b.label
+          (Iset.inter reach (Hashtbl.find full b.label)))
+    f.blocks;
   dom
 
 type loop = {

@@ -1,6 +1,6 @@
 (** Control-flow analyses shared by the IR-level passes. *)
 
-module Iset : Set.S with type elt = int
+module Iset = Analysis.Dataflow.Iset
 
 val reachable : Vir.Ir.func -> Iset.t
 (** Labels reachable from the entry block. *)

@@ -446,59 +446,11 @@ let lvn f = List.iter (lvn_block f) f.blocks
 (* Liveness and dead-code elimination                                  *)
 (* ------------------------------------------------------------------ *)
 
-let block_use_def b =
-  (* use = registers read before any write in the block *)
-  let use = ref Iset.empty and def = ref Iset.empty in
-  let consider_instr i =
-    List.iter
-      (fun r -> if not (Iset.mem r !def) then use := Iset.add r !use)
-      (instr_uses i);
-    match instr_def i with
-    | Some d -> def := Iset.add d !def
-    | None -> ()
-  in
-  List.iter consider_instr b.instrs;
-  List.iter
-    (fun r -> if not (Iset.mem r !def) then use := Iset.add r !use)
-    (term_uses b.term);
-  (!use, !def)
-
-let liveness f =
-  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
-  let use_def = Hashtbl.create 16 in
-  List.iter
-    (fun b ->
-      Hashtbl.replace use_def b.label (block_use_def b);
-      Hashtbl.replace live_in b.label Iset.empty;
-      Hashtbl.replace live_out b.label Iset.empty)
-    f.blocks;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    (* iterate in reverse layout order for faster convergence *)
-    List.iter
-      (fun b ->
-        let out =
-          List.fold_left
-            (fun acc s ->
-              match Hashtbl.find_opt live_in s with
-              | Some li -> Iset.union acc li
-              | None -> acc)
-            Iset.empty (successors b.term)
-        in
-        let use, def = Hashtbl.find use_def b.label in
-        let inn = Iset.union use (Iset.diff out def) in
-        if not (Iset.equal out (Hashtbl.find live_out b.label)) then begin
-          Hashtbl.replace live_out b.label out;
-          changed := true
-        end;
-        if not (Iset.equal inn (Hashtbl.find live_in b.label)) then begin
-          Hashtbl.replace live_in b.label inn;
-          changed := true
-        end)
-      (List.rev f.blocks)
-  done;
-  (live_in, live_out)
+(* Block-level liveness on the shared worklist solver; the fixpoint of the
+   liveness equations is unique, so the tables are identical to the
+   historical in-pass iteration (test/frozen_liveness.ml keeps that
+   implementation as a differential oracle). *)
+let liveness f = Analysis.Dataflow.Liveness.solve f
 
 let dce_once f =
   let _, live_out = liveness f in

@@ -10,7 +10,26 @@ let tpass name f ast = Telemetry.with_span ("pass." ^ name) (fun () -> f ast)
 let fpass name f func =
   Telemetry.with_span ("pass." ^ name) (fun () -> f func)
 
-let apply_passes (cfg : Config.t) (ast : Minic.Ast.program) : Vir.Ir.program =
+(* --- IR verification gate (CLI --verify-ir, bench -verify) --- *)
+
+let verify_default = ref false
+
+exception Verification_failed of string
+
+(* Test-only: after the named pass runs on a function, apply the mutation.
+   Lets the test suite plant a miscompile inside a specific pass and assert
+   the verifier attributes the failure to that pass name. *)
+let test_break : (string * (Vir.Ir.func -> unit)) option ref = ref None
+
+let verify_failed ~pass ~where detail =
+  raise
+    (Verification_failed
+       (Printf.sprintf "IR verification failed after pass '%s'%s:\n%s" pass
+          where detail))
+
+let apply_passes ?verify ?(where = "") (cfg : Config.t)
+    (ast : Minic.Ast.program) : Vir.Ir.program =
+  let verify = match verify with Some v -> v | None -> !verify_default in
   (* --- AST-level, in a fixed canonical order --- *)
   let ast = if cfg.instrument then tpass "instrument" AO.instrument ast else ast in
   let needs_norm =
@@ -62,6 +81,32 @@ let apply_passes (cfg : Config.t) (ast : Minic.Ast.program) : Vir.Ir.program =
           ast)
   in
   (* --- IR-level --- *)
+  let check pass (f : Vir.Ir.func) =
+    (match !test_break with
+    | Some (name, mutate) when name = pass -> mutate f
+    | Some _ | None -> ());
+    if verify then
+      Telemetry.with_span "verify.ir" (fun () ->
+          match Analysis.Verifier.verify_func ir f with
+          | [] -> ()
+          | errs ->
+            verify_failed ~pass ~where
+              (Analysis.Verifier.errors_to_string errs))
+  in
+  let check_program pass =
+    if verify then
+      Telemetry.with_span "verify.ir" (fun () ->
+          match Analysis.Verifier.verify_program ir with
+          | [] -> ()
+          | errs ->
+            verify_failed ~pass ~where
+              (Analysis.Verifier.errors_to_string errs))
+  in
+  check_program "lower";
+  let fpass name pass f =
+    fpass name pass f;
+    check name f
+  in
   List.iter
     (fun f ->
       (* even -O0 emits structurally merged straight-line code: trivial
@@ -90,12 +135,15 @@ let apply_passes (cfg : Config.t) (ast : Minic.Ast.program) : Vir.Ir.program =
       if cfg.late_cleanup && cfg.baseline then
         fpass "late_cleanup" C.run_baseline f)
     ir.funcs;
-  if cfg.reorder_functions then
+  if cfg.reorder_functions then begin
     Telemetry.with_span "pass.reorder_functions" (fun () ->
         IO.reorder_functions ir);
+    check_program "reorder_functions"
+  end;
   ir
 
-let compile ?(config = Config.o0) ~arch ~profile ~opt_label ast =
+let compile ?(config = Config.o0) ?verify ?(flag_desc = "") ~arch ~profile
+    ~opt_label ast =
   Telemetry.with_span
     ~attrs:
       [
@@ -105,15 +153,25 @@ let compile ?(config = Config.o0) ~arch ~profile ~opt_label ast =
       ]
     "compile"
     (fun () ->
-      let ir = apply_passes config ast in
+      let where =
+        Printf.sprintf " [profile=%s arch=%s opt=%s%s]" profile
+          (Isa.Insn.arch_name arch) opt_label flag_desc
+      in
+      let ir = apply_passes ?verify ~where config ast in
       Telemetry.with_span "pass.codegen" (fun () ->
           Codegen.Emit.compile_program
             ~options:(Config.codegen_options config)
             ~arch ~profile ~opt_label ir))
 
+let flag_vector_desc vector =
+  " flags="
+  ^ String.concat ""
+      (List.map (fun b -> if b then "1" else "0") (Array.to_list vector))
+
 let compile_flags p ?(arch = Isa.Insn.X86_64) vector ast =
   let config = Flags.resolve p vector in
-  compile ~config ~arch ~profile:p.Flags.profile_name ~opt_label:"custom" ast
+  compile ~config ~flag_desc:(flag_vector_desc vector) ~arch
+    ~profile:p.Flags.profile_name ~opt_label:"custom" ast
 
 let compile_preset p ?(arch = Isa.Insn.X86_64) name ast =
   match name with
@@ -124,6 +182,6 @@ let compile_preset p ?(arch = Isa.Insn.X86_64) name ast =
     match Flags.preset p name with
     | Some vector ->
       let config = Flags.resolve p vector in
-      compile ~config ~arch ~profile:p.Flags.profile_name
-        ~opt_label:("-" ^ name) ast
+      compile ~config ~flag_desc:(flag_vector_desc vector) ~arch
+        ~profile:p.Flags.profile_name ~opt_label:("-" ^ name) ast
     | None -> invalid_arg ("Pipeline.compile_preset: unknown preset " ^ name))

@@ -4,12 +4,32 @@
     the flag-gated pass pipeline and the code generator, and is what the
     genetic algorithm invokes once per individual per generation. *)
 
-val apply_passes : Config.t -> Minic.Ast.program -> Vir.Ir.program
+val verify_default : bool ref
+(** When true, every compile runs the IR verifier after lowering and after
+    each IR pass (CLI [--verify-ir], bench [-verify]).  Off by default —
+    verification costs a dataflow solve per pass per function. *)
+
+exception Verification_failed of string
+(** Raised by the verify gate; the message names the offending pass, the
+    function, and the profile/arch/flag-vector context. *)
+
+val test_break : (string * (Vir.Ir.func -> unit)) option ref
+(** Test-only hook: [Some (pass, mutate)] applies [mutate] to every
+    function right after [pass] runs on it, so tests can plant a
+    miscompile and assert the verifier attributes it to [pass]. *)
+
+val apply_passes :
+  ?verify:bool -> ?where:string -> Config.t -> Minic.Ast.program ->
+  Vir.Ir.program
 (** Run the AST passes, lowering, and IR passes dictated by the
-    configuration and return the optimized IR (exposed for tests). *)
+    configuration and return the optimized IR (exposed for tests).
+    [verify] defaults to [!verify_default]; [where] is appended to
+    verification-failure messages. *)
 
 val compile :
   ?config:Config.t ->
+  ?verify:bool ->
+  ?flag_desc:string ->
   arch:Isa.Insn.arch ->
   profile:string ->
   opt_label:string ->

@@ -1,0 +1,487 @@
+(* The static-analysis subsystem: the generic worklist solver and its
+   instances (liveness, dominators, reaching definitions, constant
+   propagation, intervals), the IR verifier with its pipeline gate, and
+   the MinC lint.
+
+   The solver instances that replaced in-pass fixpoint loops are locked
+   differentially against the frozen pre-framework implementations in
+   [Frozen_liveness]: liveness and dominator fixpoints are unique, so
+   the tables must be identical on every function. *)
+
+open Vir.Ir
+module Iset = Analysis.Dataflow.Iset
+module DF = Analysis.Dataflow
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mkfunc ?(params = []) ~nregs blocks =
+  {
+    fname = "t";
+    params;
+    blocks;
+    next_reg = nregs;
+    next_vreg = 0;
+    next_label = List.length blocks;
+    nslots = 0;
+    local_arrays = [];
+  }
+
+let mkblock label instrs term = { label; instrs; term }
+
+(* A random but structurally valid CFG: labels 0..n-1, pure instructions
+   over a small register pool, terminators targeting existing labels.
+   Exercises unreachable blocks, self-loops and irreducible shapes the
+   fuzzer's structured programs never produce. *)
+let random_func seed =
+  let rng = Util.Rng.create seed in
+  let n = 1 + Util.Rng.int rng 8 in
+  let nregs = 2 + Util.Rng.int rng 6 in
+  let reg () = Util.Rng.int rng nregs in
+  let target () = Util.Rng.int rng n in
+  let blocks =
+    List.init n (fun l ->
+        let instrs =
+          List.init (Util.Rng.int rng 4) (fun _ ->
+              match Util.Rng.int rng 3 with
+              | 0 -> Mov (reg (), Reg (reg ()))
+              | 1 -> Bin (Add, reg (), Reg (reg ()), Reg (reg ()))
+              | _ -> Un (Neg, reg (), Reg (reg ())))
+        in
+        let term =
+          match Util.Rng.int rng 5 with
+          | 0 -> Ret (Some (Reg (reg ())))
+          | 1 | 2 -> Jmp (target ())
+          | 3 -> Br (Reg (reg ()), target (), target ())
+          | _ ->
+            Switch (Reg (reg ()), [ (0, target ()); (7, target ()) ], target ())
+        in
+        mkblock l instrs term)
+  in
+  mkfunc ~params:[ 0 ] ~nregs blocks
+
+let table_equal t1 t2 =
+  Hashtbl.length t1 = Hashtbl.length t2
+  && Hashtbl.fold
+       (fun k v acc ->
+         acc
+         && match Hashtbl.find_opt t2 k with
+            | Some v' -> Iset.equal v v'
+            | None -> false)
+       t1 true
+
+let funcs_of_fuzz seed =
+  let prog = Fuzzgen.generate seed in
+  let ir = Vir.Lower.lower_program prog in
+  let p = Toolchain.Flags.gcc in
+  let cfg =
+    Toolchain.Flags.resolve p (Option.get (Toolchain.Flags.preset p "O3"))
+  in
+  let opt = Toolchain.Pipeline.apply_passes cfg prog in
+  ir.funcs @ opt.funcs
+
+(* ------------------------------------------------------------------ *)
+(* Solver properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver terminates on arbitrary CFGs and its solution satisfies
+   the liveness dataflow equations:
+     out(b) = ∪ succ in(s)      in(b) = use(b) ∪ (out(b) \ def(b)) *)
+let prop_liveness_fixpoint =
+  QCheck.Test.make ~name:"solver: liveness solution is a fixpoint" ~count:200
+    QCheck.small_nat (fun seed ->
+      let f = random_func (seed * 7 + 1) in
+      let live_in, live_out = DF.Liveness.solve f in
+      List.for_all
+        (fun b ->
+          let out =
+            List.fold_left
+              (fun acc s -> Iset.union acc (Hashtbl.find live_in s))
+              Iset.empty (successors b.term)
+          in
+          let use, def = Frozen_liveness.block_use_def b in
+          Iset.equal out (Hashtbl.find live_out b.label)
+          && Iset.equal
+               (Iset.union use (Iset.diff out def))
+               (Hashtbl.find live_in b.label))
+        f.blocks)
+
+let prop_liveness_frozen_random =
+  QCheck.Test.make
+    ~name:"solver: liveness = frozen in-pass iteration (random CFGs)"
+    ~count:200 QCheck.small_nat (fun seed ->
+      let f = random_func (seed * 13 + 5) in
+      let in1, out1 = DF.Liveness.solve f in
+      let in2, out2 = Frozen_liveness.liveness f in
+      table_equal in1 in2 && table_equal out1 out2)
+
+let prop_dominators_frozen_random =
+  QCheck.Test.make
+    ~name:"solver: dominators = frozen iteration (random CFGs)" ~count:200
+    QCheck.small_nat (fun seed ->
+      let f = random_func (seed * 29 + 3) in
+      let d1 = Passes.Cfg_utils.dominators f in
+      let d2 = Frozen_liveness.dominators f in
+      table_equal d1 d2)
+
+(* Differential lock on real compiler output: raw lowering and the full
+   -O3 pipeline of fuzzer-generated programs. *)
+let prop_liveness_frozen_fuzzed =
+  QCheck.Test.make
+    ~name:"solver: liveness/dominators = frozen on fuzzed programs" ~count:25
+    QCheck.small_nat (fun seed ->
+      List.for_all
+        (fun f ->
+          let in1, out1 = DF.Liveness.solve f in
+          let in2, out2 = Frozen_liveness.liveness f in
+          let vin1, vout1 = DF.Vliveness.solve f in
+          let vin2, vout2 = Frozen_liveness.vliveness f in
+          table_equal in1 in2 && table_equal out1 out2
+          && table_equal vin1 vin2 && table_equal vout1 vout2
+          && table_equal
+               (Passes.Cfg_utils.dominators f)
+               (Frozen_liveness.dominators f))
+        (funcs_of_fuzz (seed + 500)))
+
+(* ------------------------------------------------------------------ *)
+(* Constant propagation and intervals                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_constprop_diamond () =
+  (* r1 := 5; branch; both arms r2 := 3; join computes r3 := r1 + r2 *)
+  let f =
+    mkfunc ~params:[ 0 ] ~nregs:4
+      [
+        mkblock 0 [ Mov (1, Imm 5) ] (Br (Reg 0, 1, 2));
+        mkblock 1 [ Mov (2, Imm 3) ] (Jmp 3);
+        mkblock 2 [ Mov (2, Imm 3) ] (Jmp 3);
+        mkblock 3 [ Bin (Add, 3, Reg 1, Reg 2) ] (Ret (Some (Reg 3)));
+      ]
+  in
+  let in_facts, out_facts = DF.Constprop.solve f in
+  (match Hashtbl.find in_facts 3 with
+  | DF.Constprop.Env env ->
+    Alcotest.(check bool)
+      "r1 = Const 5 at join" true
+      (DF.Constprop.lookup env 1 = DF.Constprop.Const 5);
+    Alcotest.(check bool)
+      "r2 = Const 3 at join" true
+      (DF.Constprop.lookup env 2 = DF.Constprop.Const 3)
+  | DF.Constprop.Unreached -> Alcotest.fail "join unreached");
+  match Hashtbl.find out_facts 3 with
+  | DF.Constprop.Env env ->
+    Alcotest.(check bool)
+      "r3 = Const 8 at exit" true
+      (DF.Constprop.lookup env 3 = DF.Constprop.Const 8)
+  | DF.Constprop.Unreached -> Alcotest.fail "exit unreached"
+
+let test_constprop_conflicting_join () =
+  (* arms write different constants: the join must be Top *)
+  let f =
+    mkfunc ~params:[ 0 ] ~nregs:3
+      [
+        mkblock 0 [] (Br (Reg 0, 1, 2));
+        mkblock 1 [ Mov (1, Imm 4) ] (Jmp 3);
+        mkblock 2 [ Mov (1, Imm 9) ] (Jmp 3);
+        mkblock 3 [] (Ret (Some (Reg 1)));
+      ]
+  in
+  let in_facts, _ = DF.Constprop.solve f in
+  match Hashtbl.find in_facts 3 with
+  | DF.Constprop.Env env ->
+    Alcotest.(check bool)
+      "conflicting constants join to Top" true
+      (DF.Constprop.lookup env 1 = DF.Constprop.Top)
+  | DF.Constprop.Unreached -> Alcotest.fail "join unreached"
+
+let test_interval_loop_widening () =
+  (* r1 counts 0,1,2,... round a loop; widening must terminate and keep
+     the sound lower bound 0 while sending the unstable upper bound to
+     +∞; the comparison result r2 stays within [0,1] *)
+  let f =
+    mkfunc ~params:[] ~nregs:3
+      [
+        mkblock 0 [ Mov (1, Imm 0) ] (Jmp 1);
+        mkblock 1
+          [ Bin (Add, 1, Reg 1, Imm 1); Bin (Slt, 2, Reg 1, Imm 10) ]
+          (Br (Reg 2, 1, 2));
+        mkblock 2 [] (Ret (Some (Reg 1)));
+      ]
+  in
+  let in_facts, _ = DF.Interval.solve f in
+  match Hashtbl.find in_facts 2 with
+  | DF.Interval.Env env ->
+    let v = DF.Interval.lookup env 1 in
+    Alcotest.(check bool) "counter lower bound stays 0" true (v.DF.Interval.lo >= 0);
+    let c = DF.Interval.lookup env 2 in
+    Alcotest.(check bool)
+      "comparison result within [0,1]" true
+      (c.DF.Interval.lo >= 0 && c.DF.Interval.hi <= 1)
+  | DF.Interval.Unreached -> Alcotest.fail "exit unreached"
+
+let test_reaching_defs_diamond () =
+  let f =
+    mkfunc ~params:[ 0 ] ~nregs:2
+      [
+        mkblock 0 [] (Br (Reg 0, 1, 2));
+        mkblock 1 [ Mov (1, Imm 4) ] (Jmp 3);
+        mkblock 2 [ Mov (1, Imm 9) ] (Jmp 3);
+        mkblock 3 [] (Ret (Some (Reg 1)));
+      ]
+  in
+  let in_facts, _ = DF.Reaching.solve f in
+  let sites = Hashtbl.find in_facts 3 in
+  let defs_of_r1 =
+    DF.Reaching.Sset.filter (fun (_, _, r) -> r = 1) sites
+  in
+  Alcotest.(check int)
+    "both arm definitions reach the join" 2
+    (DF.Reaching.Sset.cardinal defs_of_r1);
+  (* the parameter's boundary site reaches too *)
+  Alcotest.(check bool)
+    "parameter site reaches" true
+    (DF.Reaching.Sset.exists (fun (b, _, r) -> b = -1 && r = 0) sites)
+
+(* ------------------------------------------------------------------ *)
+(* Verifier                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prog_of_func f = { globals = []; funcs = [ f ] }
+
+let has_check errs c =
+  List.exists (fun (e : Analysis.Verifier.error) -> e.check = c) errs
+
+let test_verifier_clean () =
+  let f =
+    mkfunc ~params:[ 0 ] ~nregs:2
+      [
+        mkblock 0 [ Bin (Add, 1, Reg 0, Imm 1) ] (Ret (Some (Reg 1)));
+      ]
+  in
+  Alcotest.(check int)
+    "clean function verifies" 0
+    (List.length (Analysis.Verifier.verify_func (prog_of_func f) f))
+
+let test_verifier_structural () =
+  (* a branch to a missing block *)
+  let f =
+    mkfunc ~params:[] ~nregs:1 [ mkblock 0 [] (Jmp 7) ]
+  in
+  Alcotest.(check bool)
+    "missing branch target reported" true
+    (has_check (Analysis.Verifier.verify_func (prog_of_func f) f) "target");
+  (* call arity mismatch *)
+  let callee =
+    mkfunc ~params:[ 0; 1 ] ~nregs:2 [ mkblock 0 [] (Ret (Some (Imm 0))) ]
+  in
+  let callee = { callee with fname = "callee" } in
+  let caller =
+    mkfunc ~params:[] ~nregs:1
+      [ mkblock 0 [ Call (Some 0, "callee", [ Imm 1 ]) ] (Ret None) ]
+  in
+  let p = { globals = []; funcs = [ callee; caller ] } in
+  Alcotest.(check bool)
+    "call arity mismatch reported" true
+    (has_check (Analysis.Verifier.verify_func p caller) "call");
+  (* slot out of bounds *)
+  let f =
+    mkfunc ~params:[] ~nregs:1
+      [ mkblock 0 [ Slot_load (0, 3) ] (Ret None) ]
+  in
+  Alcotest.(check bool)
+    "slot out of bounds reported" true
+    (has_check (Analysis.Verifier.verify_func (prog_of_func f) f) "slot")
+
+let test_verifier_undef_sink () =
+  (* r1 assigned on one path only, then returned: the machine-dependent
+     value escapes, which must be reported *)
+  let f =
+    mkfunc ~params:[ 0 ] ~nregs:2
+      [
+        mkblock 0 [] (Br (Reg 0, 1, 2));
+        mkblock 1 [ Mov (1, Imm 4) ] (Jmp 2);
+        mkblock 2 [] (Ret (Some (Reg 1)));
+      ]
+  in
+  Alcotest.(check bool)
+    "partially-assigned return value reported" true
+    (has_check (Analysis.Verifier.verify_func (prog_of_func f) f) "undef-use")
+
+let test_verifier_speculation_shield () =
+  (* the if-conversion shape: a speculated instruction reads a register
+     assigned on only some paths, but the result flows only into a
+     select data input — legal, the select picks the other arm exactly
+     on the unassigned paths *)
+  let f =
+    mkfunc ~params:[ 0 ] ~nregs:4
+      [
+        mkblock 0 [ Mov (1, Imm 2) ] (Br (Reg 0, 1, 2));
+        mkblock 1 [ Mov (2, Imm 8) ] (Jmp 2);
+        (* speculated: r3 := r2 + 1 where r2 is assigned only via L1 *)
+        mkblock 2
+          [
+            Bin (Add, 3, Reg 2, Imm 1);
+            Select (1, Reg 0, Reg 3, Reg 1);
+          ]
+          (Ret (Some (Reg 1)));
+      ]
+  in
+  Alcotest.(check int)
+    "select-shielded speculation verifies" 0
+    (List.length (Analysis.Verifier.verify_func (prog_of_func f) f));
+  (* ... but the same tainted value reaching a store is an error *)
+  let g =
+    mkfunc ~params:[ 0 ] ~nregs:4
+      [
+        mkblock 0 [ Mov (1, Imm 2) ] (Br (Reg 0, 1, 2));
+        mkblock 1 [ Mov (2, Imm 8) ] (Jmp 2);
+        mkblock 2
+          [ Bin (Add, 3, Reg 2, Imm 1); Print_int (Reg 3) ]
+          (Ret (Some (Reg 1)));
+      ]
+  in
+  Alcotest.(check bool)
+    "tainted value reaching output reported" true
+    (has_check (Analysis.Verifier.verify_func (prog_of_func g) g) "undef-use")
+
+(* Every pass prefix of every compile of fuzzer-generated programs must
+   verify — the fuzz oracle extension, here on a small dedicated sweep
+   (Test_fuzz runs the verifier inside its differential sweeps too). *)
+let test_verifier_fuzz_prefixes () =
+  List.iter
+    (fun seed ->
+      let prog = Fuzzgen.generate seed in
+      List.iter
+        (fun (p, preset) ->
+          ignore
+            (Toolchain.Pipeline.compile_preset p preset prog))
+        [
+          (Toolchain.Flags.gcc, "O2");
+          (Toolchain.Flags.llvm, "O3");
+        ])
+    (List.init 6 (fun i -> (i * 59) + 11))
+
+let test_verifier_fuzz_prefixes () =
+  Toolchain.Pipeline.verify_default := true;
+  Fun.protect
+    ~finally:(fun () -> Toolchain.Pipeline.verify_default := false)
+    test_verifier_fuzz_prefixes
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline gate: a planted miscompile is caught and attributed        *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_broken_pass_attribution () =
+  let src = "int main() { int x = 1; int y = x + 2; print_int(y); return y; }" in
+  let prog = Minic.Sema.analyze src in
+  (* positive control: the gate passes on a healthy pipeline *)
+  ignore
+    (Toolchain.Pipeline.compile ~verify:true ~arch:Isa.Insn.X86_64
+       ~profile:"gcc-10.2" ~opt_label:"-O0" prog);
+  (* plant a miscompile inside simplify_cfg: retarget the entry block's
+     terminator at a block that does not exist *)
+  Toolchain.Pipeline.test_break :=
+    Some
+      ( "simplify_cfg",
+        fun f -> (List.hd f.blocks).term <- Jmp (f.next_label + 17) );
+  Fun.protect
+    ~finally:(fun () -> Toolchain.Pipeline.test_break := None)
+    (fun () ->
+      match
+        Toolchain.Pipeline.compile ~verify:true ~arch:Isa.Insn.X86_64
+          ~profile:"gcc-10.2" ~opt_label:"-O0" prog
+      with
+      | exception Toolchain.Pipeline.Verification_failed msg ->
+        Alcotest.(check bool)
+          "failure names the broken pass" true
+          (contains msg "after pass 'simplify_cfg'");
+        Alcotest.(check bool)
+          "failure names the check" true
+          (contains msg "[target]")
+      | _ -> Alcotest.fail "planted miscompile was not caught")
+
+(* ------------------------------------------------------------------ *)
+(* Lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_of_src src =
+  let prog = Minic.Sema.analyze src in
+  let ir =
+    Vir.Lower.lower_program
+      ~options:{ Vir.Lower.merge_conditionals = false; vectorize = false }
+      prog
+  in
+  Analysis.Lint.lint_program ir
+
+let has_category findings c =
+  List.exists (fun (f : Analysis.Lint.finding) -> f.category = c) findings
+
+let test_lint_findings () =
+  Alcotest.(check bool)
+    "unused local" true
+    (has_category
+       (lint_of_src "int main() { int unused = 5; return 0; }")
+       "unused-local");
+  Alcotest.(check bool)
+    "unused param" true
+    (has_category
+       (lint_of_src
+          "int g(int a, int b) { return a; }\n\
+           int main() { return g(1, 2); }")
+       "unused-param");
+  Alcotest.(check bool)
+    "dead store" true
+    (has_category
+       (lint_of_src "int main() { int x = 1; x = 2; return x; }")
+       "dead-store");
+  Alcotest.(check bool)
+    "always-true condition" true
+    (has_category
+       (lint_of_src
+          "int main() { int i = 0; while (1) { i = i + 1; if (i > 3) { \
+           return i; } } return 0; }")
+       "always-true");
+  Alcotest.(check bool)
+    "unreachable switch arm" true
+    (has_category
+       (lint_of_src
+          "int f(int x) { switch (x & 3) { case 0: return 1; case 5: \
+           return 2; } return 3; }\n\
+           int main() { return f(7); }")
+       "unreachable-switch-arm");
+  (* a clean program stays clean *)
+  Alcotest.(check int)
+    "clean program has no findings" 0
+    (List.length
+       (lint_of_src "int main() { int x = 1; print_int(x); return x; }"))
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_liveness_fixpoint;
+    QCheck_alcotest.to_alcotest prop_liveness_frozen_random;
+    QCheck_alcotest.to_alcotest prop_dominators_frozen_random;
+    QCheck_alcotest.to_alcotest prop_liveness_frozen_fuzzed;
+    Alcotest.test_case "constprop diamond" `Quick test_constprop_diamond;
+    Alcotest.test_case "constprop conflicting join" `Quick
+      test_constprop_conflicting_join;
+    Alcotest.test_case "interval loop widening" `Quick
+      test_interval_loop_widening;
+    Alcotest.test_case "reaching defs diamond" `Quick
+      test_reaching_defs_diamond;
+    Alcotest.test_case "verifier clean" `Quick test_verifier_clean;
+    Alcotest.test_case "verifier structural" `Quick test_verifier_structural;
+    Alcotest.test_case "verifier undef sink" `Quick test_verifier_undef_sink;
+    Alcotest.test_case "verifier speculation shield" `Quick
+      test_verifier_speculation_shield;
+    Alcotest.test_case "verifier fuzz pass prefixes" `Slow
+      test_verifier_fuzz_prefixes;
+    Alcotest.test_case "broken pass attribution" `Quick
+      test_broken_pass_attribution;
+    Alcotest.test_case "lint findings" `Quick test_lint_findings;
+  ]

@@ -1,6 +1,19 @@
 (* Differential compiler fuzzing: random well-formed MinC programs must
    behave identically under the -O0 reference interpreter and under every
-   optimization configuration on the VX virtual machine. *)
+   optimization configuration on the VX virtual machine.
+
+   The sequential sweeps additionally run with the between-pass IR
+   verifier enabled ([with_verifier]), so every fuzzer-generated program
+   must verify after every pass prefix of every compile — a structural
+   oracle on top of the behavioural one.  The pooled oracle is left
+   alone: [Toolchain.Pipeline.verify_default] is a plain global and must
+   not be flipped around worker domains. *)
+
+let with_verifier f =
+  Toolchain.Pipeline.verify_default := true;
+  Fun.protect
+    ~finally:(fun () -> Toolchain.Pipeline.verify_default := false)
+    f
 
 let behaviour_ir ir input =
   let r = Vir.Interp.run ~fuel:3_000_000 ir ~input in
@@ -26,6 +39,7 @@ let check_seed ~preset ~profile seed =
 
 let test_fuzz_presets () =
   (* a fixed sweep across seeds, presets and profiles *)
+  with_verifier @@ fun () ->
   List.iter
     (fun seed ->
       List.iter
@@ -48,6 +62,7 @@ let prop_fuzz_random_flags =
   QCheck.Test.make ~name:"fuzzed programs under random flag vectors" ~count:25
     QCheck.(pair small_nat small_nat)
     (fun (seed, vseed) ->
+      with_verifier @@ fun () ->
       let prog = Fuzzgen.generate (seed + 1000) in
       let ir = Vir.Lower.lower_program prog in
       match List.map (behaviour_ir ir) inputs with
@@ -123,6 +138,7 @@ let test_fuzz_parallel_oracle () =
         (List.init 8 (fun i -> (i * 101) + 3)))
 
 let test_fuzz_all_arches () =
+  with_verifier @@ fun () ->
   List.iter
     (fun seed ->
       let prog = Fuzzgen.generate seed in

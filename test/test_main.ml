@@ -8,6 +8,7 @@ let () =
       ("minic", Test_minic.tests);
       ("isa", Test_isa.tests);
       ("passes", Test_passes.tests);
+      ("analysis", Test_analysis.tests);
       ("compiler", Test_compiler.tests);
       ("diffing", Test_diffing.tests);
       ("tuner", Test_tuner.tests);

@@ -363,6 +363,37 @@ let test_reorder_functions () =
   Alcotest.(check (list string)) "same set"
     (List.sort compare order0) (List.sort compare order1)
 
+(* Regression for the verifier sweep: if-conversion speculates arm
+   instructions above the branch, so the speculated defs read registers
+   that are only assigned on some paths.  That is legal here — the junk
+   flows only into select data inputs picked on exactly the defined
+   paths — and the verifier's taint-to-sink analysis must accept it.
+   Before the taint refinement the strict definite-assignment check
+   rejected every if-converted function in the corpus (496 failures). *)
+let test_verifier_accepts_if_convert () =
+  Toolchain.Pipeline.verify_default := true;
+  Fun.protect
+    ~finally:(fun () -> Toolchain.Pipeline.verify_default := false)
+    (fun () ->
+      (* distilled shape: mem2reg promotes y, if_convert speculates y+1 *)
+      let src =
+        "int g(int a) { int y = 0; if (a > 0) { y = a * 2; } int x = 5; if \
+         (a > 0) { x = y + 1; } return x; }\n\
+         int main() { print_int(g(3)); print_int(g(-1)); return 0; }"
+      in
+      let prog = Minic.Sema.analyze src in
+      List.iter
+        (fun preset ->
+          ignore
+            (Toolchain.Pipeline.compile_preset Toolchain.Flags.gcc preset prog))
+        [ "O2"; "O3" ];
+      (* the corpus shape that first exposed it: mirai under llvm -O2 on
+         arm had 496 sweep failures, all if_convert def-before-use *)
+      let bench = Corpus.find "mirai" in
+      ignore
+        (Toolchain.Pipeline.compile_preset Toolchain.Flags.llvm
+           ~arch:Isa.Insn.Arm "O2" (Corpus.program bench)))
+
 let tests =
   [
     Alcotest.test_case "mem2reg" `Quick test_mem2reg_removes_slots;
@@ -386,4 +417,6 @@ let tests =
     Alcotest.test_case "unroll-and-jam" `Quick test_unroll_and_jam_fires;
     Alcotest.test_case "builtin expansion" `Quick test_builtin_expansion;
     Alcotest.test_case "reorder functions" `Quick test_reorder_functions;
+    Alcotest.test_case "verifier accepts if-convert speculation" `Quick
+      test_verifier_accepts_if_convert;
   ]

@@ -16,7 +16,13 @@
 #      while the default (telemetry-off) path emits nothing and reproduces
 #      the same sentinel; the fig5 NCD batch must report size-cache hits;
 #   6. ncd microbench smoke — the `ncd` experiment must emit a parseable
-#      BENCH_ncd.json whose chained-vs-greedy throughput speedup is > 1.
+#      BENCH_ncd.json whose chained-vs-greedy throughput speedup is > 1;
+#   7. static-analysis gate — the IR verifier must accept every pass of a
+#      corpus-wide compile sweep (presets × profiles × archs × random
+#      valid flag vectors), the pedantic lint must report nothing beyond
+#      tools/lint_allowlist.txt, and a one-benchmark fig5 run with
+#      -verify (the between-pass verifier on the bench hot path) must
+#      succeed.
 #
 # Exits non-zero on any failure.
 
@@ -106,6 +112,16 @@ if dune exec bench/main.exe -- -quick -j 2 -only coreutils fig5 \
   echo "ci: FAIL — telemetry output leaked on the default (disabled) path" >&2
   exit 1
 fi
+
+echo "== ci: IR verifier + lint gate =="
+dune exec bin/bintuner_cli.exe -- verify > /dev/null \
+  || { echo "ci: FAIL — IR verification sweep found a broken pass" >&2; exit 1; }
+dune exec bin/bintuner_cli.exe -- analyze --allowlist tools/lint_allowlist.txt > /dev/null \
+  || { echo "ci: FAIL — lint reported findings beyond tools/lint_allowlist.txt" >&2; exit 1; }
+# the verifier on the bench hot path: must check every pass without
+# changing any result
+dune exec bench/main.exe -- -quick -j 2 -only coreutils -verify fig5 > /dev/null \
+  || { echo "ci: FAIL — fig5 -verify failed" >&2; exit 1; }
 
 echo "== ci: ncd microbench smoke =="
 ncd_dir=$(mktemp -d)
