@@ -14,11 +14,17 @@ check:
 	dune build @all
 	dune runtest
 
-# A fast end-to-end exercise of the tuning engine: quick GA budget, two
-# worker domains, full Table 1 driver (pretune fan-out + compile memo +
-# determinism sentinel all on the hot path).
+# A fast end-to-end exercise of the tuning engine: quick search budget,
+# two worker domains, full Table 1 driver (pretune fan-out + compile memo
+# + determinism sentinel all on the hot path), then the search-strategy
+# microbench (all five strategies through the batched evaluation path,
+# emitting BENCH_search.json) from a scratch directory so the smoke
+# numbers never clobber a committed full-run artifact.
 bench-smoke:
 	dune exec bench/main.exe -- -quick -j 2 table1
+	dune build bench/main.exe
+	tmp=$$(mktemp -d) && (cd $$tmp && $(CURDIR)/_build/default/bench/main.exe \
+	  -quick -j 2 -only 462.libquantum search) && rm -rf $$tmp
 
 # The static-analysis gate: every pass of every compile in the sweep runs
 # under the IR verifier, then the MinC lint must report nothing beyond the

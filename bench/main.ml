@@ -18,12 +18,12 @@ let printf = Printf.printf
 (* ------------------------------------------------------------------ *)
 
 let bench_termination =
-  (* scaled-down GA budget; the paper's runs take 279-1881 iterations on
-     a 36-core Xeon — ours are sized for a laptop-minutes run.  The
+  (* scaled-down search budget; the paper's runs take 279-1881 iterations
+     on a 36-core Xeon — ours are sized for a laptop-minutes run.  The
      [-quick] flag shrinks it further for CI smoke runs. *)
   ref
     {
-      Ga.Genetic.max_evaluations = 300;
+      Search.max_evaluations = 300;
       plateau_window = 110;
       plateau_epsilon = 0.0035;
     }
@@ -914,57 +914,136 @@ let bechamel () =
     results
 
 (* ------------------------------------------------------------------ *)
-(* Ablation: GA vs hill climbing vs MCMC (paper §4.1 and §7)           *)
+(* Search strategies: ablation + strategy sweep (paper §3.2, §4.1, §7)  *)
 (* ------------------------------------------------------------------ *)
+
+(* Shared runner for the strategy experiments: every strategy goes
+   through the same batched evaluation path as [Tuner.tune] — compile +
+   code-stream projection fanned over the pool, compressed sizes
+   memoized in a per-run size cache — with the -Ox preset seeds and a
+   per-run rng fixed by [seed], so strategies differ only in what they
+   propose. *)
+let run_strategy ?(seed = 77) ~budget ~plateau profile bench strategy_name =
+  let ast = Corpus.program bench in
+  let baseline = preset_binary profile "O0" bench in
+  let baseline_stream = Bintuner.Tuner.code_stream baseline in
+  let ncd_cache = Compress.Sizecache.create () in
+  let batch_fitness vectors =
+    let streams =
+      Parallel.Pool.map !pool
+        (fun v ->
+          Bintuner.Tuner.code_stream
+            (Toolchain.Pipeline.compile_flags profile v ast))
+        vectors
+    in
+    Compress.Ncd.against ~pool:!pool ~cache:ncd_cache
+      ~baseline:baseline_stream streams
+  in
+  let fitness v = (batch_fitness [| v |]).(0) in
+  let rng = Util.Rng.create seed in
+  let problem =
+    {
+      Search.ngenes = Array.length profile.Toolchain.Flags.flags;
+      seeds =
+        List.filter_map
+          (fun n -> Toolchain.Flags.preset profile n)
+          [ "O1"; "O2"; "O3"; "Os" ];
+      repair = Toolchain.Constraints.repair profile rng;
+    }
+  in
+  let termination =
+    match plateau with
+    | Some (window, epsilon) ->
+      { Search.max_evaluations = budget;
+        plateau_window = window;
+        plateau_epsilon = epsilon }
+    | None ->
+      (* budget-only: every strategy spends the full allowance, so the
+         comparison is spend-for-spend *)
+      { Search.max_evaluations = budget;
+        plateau_window = budget;
+        plateau_epsilon = 0.0 }
+  in
+  Search.run ~batch_fitness ~rng ~termination ~problem ~fitness
+    (Search.of_name strategy_name)
 
 let ablation () =
   print_string
     (section
-       "Ablation: search strategies (§4.1: GA beats local search; §7: MCMC)");
-  let budget = 300 in
+       "Ablation: search strategies (§4.1: GA beats local search; §3.2: ensemble)");
+  let budget = if !quick_mode then 60 else 300 in
   List.iter
     (fun (bname, profile) ->
       let bench = Corpus.find bname in
-      let ast = Corpus.program bench in
-      let baseline = preset_binary profile "O0" bench in
-      let baseline_stream = Bintuner.Tuner.code_stream baseline in
-      let fitness vector =
-        let bin = Toolchain.Pipeline.compile_flags profile vector ast in
-        Compress.Ncd.distance (Bintuner.Tuner.code_stream bin) baseline_stream
-      in
-      let seeds =
-        List.filter_map
-          (fun n -> Toolchain.Flags.preset profile n)
-          [ "O1"; "O2"; "O3"; "Os" ]
-      in
-      let ngenes = Array.length profile.Toolchain.Flags.flags in
-      let run name f =
-        let rng = Util.Rng.create 77 in
-        let outcome =
-          f ~rng ~ngenes ~seeds
-            ~repair:(Toolchain.Constraints.repair profile rng)
-            ~fitness
-        in
-        printf "  %-14s %-16s best fitness %.3f in %d evaluations
-%!" bname
-          name outcome.Ga.Genetic.best_fitness outcome.evaluations
-      in
-      run "genetic" (fun ~rng ~ngenes ~seeds ~repair ~fitness ->
-          Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params
-            ~termination:
-              {
-                Ga.Genetic.max_evaluations = budget;
-                plateau_window = budget;
-                plateau_epsilon = 0.0;
-              }
-            ~ngenes ~seeds ~repair ~fitness ());
-      run "hill-climb" (fun ~rng ~ngenes ~seeds ~repair ~fitness ->
-          Ga.Strategies.hill_climb ~rng ~max_evaluations:budget ~ngenes ~seeds
-            ~repair ~fitness);
-      run "mcmc-anneal" (fun ~rng ~ngenes ~seeds ~repair ~fitness ->
-          Ga.Strategies.anneal ~rng ~max_evaluations:budget ~ngenes ~seeds
-            ~repair ~fitness))
+      List.iter
+        (fun sname ->
+          let outcome =
+            run_strategy ~budget ~plateau:None profile bench sname
+          in
+          printf "  %-14s %-10s best fitness %.3f in %d evaluations\n%!" bname
+            sname outcome.Search.best_fitness outcome.evaluations)
+        Search.all_names)
     [ ("462.libquantum", Toolchain.Flags.llvm); ("coreutils", Toolchain.Flags.gcc) ]
+
+(* The strategy sweep microbench: best-NCD-vs-evaluations for every
+   registered strategy on a small benchmark × profile grid, emitted
+   machine-readably to BENCH_search.json (the search-layer analogue of
+   BENCH_ncd.json).  Budgets follow [-quick]; [-only] narrows the
+   benchmark set. *)
+let search_bench () =
+  print_string
+    (section "Search strategy sweep (best NCD vs evaluations per strategy)");
+  let budget = !bench_termination.Search.max_evaluations in
+  let benches =
+    let rec take n = function
+      | x :: tl when n > 0 -> x :: take (n - 1) tl
+      | _ -> []
+    in
+    take 2 (eval_set ())
+  in
+  let profiles = [ Toolchain.Flags.llvm; Toolchain.Flags.gcc ] in
+  let runs =
+    List.concat_map
+      (fun bench ->
+        List.concat_map
+          (fun profile ->
+            List.map
+              (fun sname ->
+                let outcome =
+                  run_strategy ~budget ~plateau:None profile bench sname
+                in
+                printf "  %-18s %-9s %-10s best NCD %.3f in %d evaluations\n%!"
+                  bench.Corpus.bname profile.Toolchain.Flags.profile_name sname
+                  outcome.Search.best_fitness outcome.evaluations;
+                (bench, profile, sname, outcome))
+              Search.all_names)
+          profiles)
+      benches
+  in
+  let oc = open_out "BENCH_search.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"budget\": %d,\n" budget;
+  out "  \"runs\": [\n";
+  List.iteri
+    (fun i (bench, profile, sname, outcome) ->
+      let history =
+        String.concat ","
+          (List.map
+             (fun (e, f) -> Printf.sprintf "[%d,%.4f]" e f)
+             outcome.Search.history)
+      in
+      out
+        "    {\"benchmark\": %S, \"profile\": %S, \"strategy\": %S, \
+         \"best_ncd\": %.4f, \"evaluations\": %d, \"history\": [%s]}%s\n"
+        bench.Corpus.bname profile.Toolchain.Flags.profile_name sname
+        outcome.Search.best_fitness outcome.Search.evaluations history
+        (if i = List.length runs - 1 then "" else ","))
+    runs;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  printf "  wrote BENCH_search.json (%d runs)\n" (List.length runs)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-objective tuning (paper §7 future work: NCD and speed)        *)
@@ -1000,20 +1079,25 @@ let multiobj () =
       (alpha *. ncd) +. ((1.0 -. alpha) *. speedup)
     in
     let outcome =
-      Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params
+      let problem =
+        {
+          Search.ngenes = Array.length profile.flags;
+          seeds =
+            List.filter_map
+              (fun n -> Toolchain.Flags.preset profile n)
+              [ "O2"; "O3" ];
+          repair = Toolchain.Constraints.repair profile rng;
+        }
+      in
+      Search.run ~rng
         ~termination:
           {
-            Ga.Genetic.max_evaluations = 200;
+            Search.max_evaluations = 200;
             plateau_window = 100;
             plateau_epsilon = 0.0035;
           }
-        ~ngenes:(Array.length profile.flags)
-        ~seeds:
-          (List.filter_map
-             (fun n -> Toolchain.Flags.preset profile n)
-             [ "O2"; "O3" ])
-        ~repair:(Toolchain.Constraints.repair profile rng)
-        ~fitness ()
+        ~problem ~fitness
+        (Search.Genetic.strategy ())
     in
     let bin = Toolchain.Pipeline.compile_flags profile outcome.best ast in
     let ncd, speedup = measure bin in
@@ -1163,6 +1247,7 @@ let experiments =
     ("table78", table78);
     ("speed", speed);
     ("ncd", ncd_bench);
+    ("search", search_bench);
     ("ablation", ablation);
     ("multiobj", multiobj);
     ("bechamel", bechamel);
@@ -1171,11 +1256,11 @@ let experiments =
 let usage () =
   printf
     "usage: main.exe [-j N] [-quick] [-verify] [-trace FILE] [-profile] [-only NAME]* [experiment...]\n\
-     \  -j N         run tuning jobs and GA generations on N domains\n\
+     \  -j N         run tuning jobs and search generations on N domains\n\
      \               (default: the machine's recommended domain count;\n\
      \               results are bit-identical at every N)\n\
-     \  -quick       shrink the GA budget for smoke runs\n\
-     \  -trace FILE  stream telemetry events (compile passes, GA\n\
+     \  -quick       shrink the search budget for smoke runs\n\
+     \  -trace FILE  stream telemetry events (compile passes, search\n\
      \               generations, pool chunks, fitness/BinHunt spans)\n\
      \               to FILE as ndjson\n\
      \  -profile     print an aggregated telemetry summary at exit,\n\

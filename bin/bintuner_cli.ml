@@ -106,7 +106,19 @@ let compile_cmd =
 
 let tune_cmd =
   let iterations =
-    Arg.(value & opt int 500 & info [ "max-iterations" ] ~doc:"GA evaluation budget.")
+    Arg.(value & opt int 500
+         & info [ "max-iterations" ] ~doc:"Search evaluation budget.")
+  in
+  let strategy_arg =
+    Arg.(value
+         & opt (enum (List.map (fun n -> (n, n)) Search.all_names)) "ga"
+         & info [ "strategy" ]
+             ~doc:
+               "Search strategy: $(b,ga) (generational genetic algorithm), \
+                $(b,hill) (batched steepest-ascent hill climbing), \
+                $(b,anneal) (batched simulated annealing), $(b,random) \
+                (random-search baseline), or $(b,ensemble) (OpenTuner-style \
+                AUC-bandit over the other four).")
   in
   let jobs =
     Arg.(value & opt int 0
@@ -134,12 +146,13 @@ let tune_cmd =
                "Print an aggregated telemetry summary after tuning, including \
                 the compile/NCD/BinHunt cost split.")
   in
-  let run bench source profile arch lz_level iterations jobs db trace prof =
+  let run bench source profile arch lz_level iterations strategy jobs db trace
+      prof =
     Compress.Lz.set_default_level lz_level;
     let _, b = load_program ~bench ~source in
     let p = profile_of profile in
     let termination =
-      { Ga.Genetic.default_termination with max_evaluations = iterations }
+      { Search.default_termination with max_evaluations = iterations }
     in
     let j = if jobs <= 0 then Parallel.Pool.default_size () else jobs in
     let trace_channel = Option.map open_out trace in
@@ -150,11 +163,13 @@ let tune_cmd =
            ());
     let r =
       Parallel.Pool.with_pool j (fun pool ->
-          Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination ~pool ~profile:p
-            b)
+          Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination
+            ~strategy:(Search.of_name strategy) ~pool ~profile:p b)
     in
-    Printf.printf "tuned %s with %s: %d iterations, fitness NCD %.3f, functional %b\n"
-      r.benchmark r.profile_name r.iterations r.best_ncd r.functional_ok;
+    Printf.printf
+      "tuned %s with %s [%s]: %d iterations, fitness NCD %.3f, functional %b\n"
+      r.benchmark r.profile_name r.strategy r.iterations r.best_ncd
+      r.functional_ok;
     Printf.printf "compile memo: %d of %d compile requests served from cache (-j %d)\n"
       r.cache_hits (r.cache_hits + r.compilations) j;
     List.iter (fun (n, v) -> Printf.printf "  %-3s fitness %.3f\n" n v) r.preset_ncd;
@@ -173,7 +188,7 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Run BinTuner's iterative compilation on a benchmark.")
     Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg
-          $ lz_level_arg $ iterations $ jobs $ db $ trace $ prof)
+          $ lz_level_arg $ iterations $ strategy_arg $ jobs $ db $ trace $ prof)
 
 let diff_cmd =
   let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in

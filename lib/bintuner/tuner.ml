@@ -6,6 +6,7 @@ type entry = {
 type result = {
   benchmark : string;
   profile_name : string;
+  strategy : string;
   arch : Isa.Insn.arch;
   best_vector : bool array;
   best_binary : Isa.Binary.t;
@@ -54,14 +55,27 @@ let functional_check bench bin0 bin =
       && r0.Vm.Machine.return_value = r.Vm.Machine.return_value)
     bench.Corpus.workloads
 
-let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
-    ?(termination = Ga.Genetic.default_termination) ?(seed = 1) ?pool
+let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
+    ?(termination = Search.default_termination) ?(seed = 1) ?strategy ?pool
     ?(memoize = true) ~(profile : Toolchain.Flags.profile)
     (bench : Corpus.benchmark) =
   let t0 = Unix.gettimeofday () in
-  let pool =
-    match pool with Some p -> p | None -> Parallel.Pool.create 1
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Search.Genetic.strategy ~params ()
   in
+  (* a pool we create ourselves is ours to shut down, on every exit *)
+  let owned_pool, pool =
+    match pool with
+    | Some p -> (None, p)
+    | None ->
+      let p = Parallel.Pool.create 1 in
+      (Some p, p)
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Parallel.Pool.shutdown owned_pool)
+  @@ fun () ->
   let rng = Util.Rng.create (seed + Hashtbl.hash (bench.Corpus.bname, profile.profile_name)) in
   let ast = Corpus.program bench in
   let baseline = Toolchain.Pipeline.compile_preset profile ~arch "O0" ast in
@@ -108,11 +122,14 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
       [ "O1"; "O2"; "O3"; "Os" ]
   in
   let outcome =
-    Ga.Genetic.run ~batch_fitness ~rng ~params ~termination
-      ~ngenes:(Array.length profile.flags)
-      ~seeds
-      ~repair:(Toolchain.Constraints.repair profile rng)
-      ~fitness ()
+    let problem =
+      {
+        Search.ngenes = Array.length profile.flags;
+        seeds;
+        repair = Toolchain.Constraints.repair profile rng;
+      }
+    in
+    Search.run ~batch_fitness ~rng ~termination ~problem ~fitness strategy
   in
   (* Final selection: the GA typically ends with a set of near-tied best
      fitness values ("multiple different versions that all reveal the
@@ -194,6 +211,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Ga.Genetic.default_params)
   {
     benchmark = bench.bname;
     profile_name = profile.profile_name;
+    strategy = Search.name strategy;
     arch;
     best_vector = outcome.best;
     best_binary;

@@ -18,6 +18,7 @@ type entry = {
 type result = {
   benchmark : string;
   profile_name : string;
+  strategy : string;  (** registry name of the search strategy that ran *)
   arch : Isa.Insn.arch;
   best_vector : bool array;
       (** the highest-fitness vector — the paper's selection rule
@@ -71,9 +72,10 @@ val fitness_of_binaries : Isa.Binary.t -> Isa.Binary.t -> float
 
 val tune :
   ?arch:Isa.Insn.arch ->
-  ?params:Ga.Genetic.params ->
-  ?termination:Ga.Genetic.termination ->
+  ?params:Search.Genetic.params ->
+  ?termination:Search.termination ->
   ?seed:int ->
+  ?strategy:Search.strategy ->
   ?pool:Parallel.Pool.t ->
   ?memoize:bool ->
   profile:Toolchain.Flags.profile ->
@@ -86,7 +88,13 @@ val tune :
     loop) and whether or not [memoize] is on (compilation is pure, the
     memo only skips repeats — its traffic is reported in [cache_hits] /
     [compilations]).  Both properties are enforced by the differential
-    test suite.  Default: no parallelism, memoization on. *)
+    test suite.  Default: no parallelism, memoization on.
+
+    [strategy] selects the search backend (default: the GA with
+    [params]; [params] is ignored when an explicit strategy is given —
+    build it with {!Search.Genetic.strategy} to parameterize the GA).
+    When [pool] is omitted the tuner creates a size-1 pool and shuts it
+    down on every exit, normal or exceptional. *)
 
 val flags_enabled : Toolchain.Flags.profile -> bool array -> string list
 (** Names of the flags a vector enables. *)

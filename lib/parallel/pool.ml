@@ -32,6 +32,13 @@ let worker pool =
   in
   loop ()
 
+(* Process-wide count of worker domains spawned and not yet joined.
+   Purely observational — it exists so tests can assert that pool owners
+   (e.g. a pool-less [Tuner.tune]) don't leak domains. *)
+let live = Atomic.make 0
+
+let live_domains () = Atomic.get live
+
 let create n =
   let size = max 1 n in
   let pool =
@@ -44,9 +51,11 @@ let create n =
       workers = [||];
     }
   in
-  if size > 1 then
+  if size > 1 then begin
     pool.workers <-
       Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+    Atomic.fetch_and_add live (size - 1) |> ignore
+  end;
   pool
 
 let size pool = pool.size
@@ -60,7 +69,8 @@ let shutdown pool =
   pool.stop <- true;
   Condition.broadcast pool.cv;
   Mutex.unlock pool.mutex;
-  Array.iter Domain.join workers
+  Array.iter Domain.join workers;
+  Atomic.fetch_and_add live (-Array.length workers) |> ignore
 
 let with_pool n f =
   let pool = create n in

@@ -70,3 +70,8 @@ val shutdown : t -> unit
 val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool n f] runs [f] with a fresh pool, always shutting it down
     (including on exceptions). *)
+
+val live_domains : unit -> int
+(** Process-wide count of worker domains spawned by {!create} and not
+    yet joined by {!shutdown}.  Observational, for leak regression
+    tests: balanced create/shutdown pairs leave it unchanged. *)

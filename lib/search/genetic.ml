@@ -1,0 +1,149 @@
+(* The generational GA (paper §4.1, Appendix B) as a pluggable strategy.
+
+   This is the pre-refactor [Ga.Genetic.run] split along the ask/tell
+   seam: population construction and breeding (everything that consumes
+   the rng) live here, evaluation bookkeeping lives in {!Engine}.  The
+   split is rng-transparent — the sequence of draws is byte-for-byte the
+   old engine's, so a run through [Engine.run] is bit-identical to the
+   frozen GA (locked by test/frozen_ga.ml and the table1 sentinel). *)
+
+type params = {
+  population_size : int;
+  mutation_rate : float;  (** per-gene flip probability *)
+  crossover_rate : float;  (** probability a pair recombines *)
+  must_mutate_count : int;  (** minimum flips applied to each child *)
+  crossover_strength : float;  (** bias towards the fitter parent's genes *)
+  tournament_size : int;
+  elitism : int;  (** individuals copied unchanged per generation *)
+}
+
+let default_params =
+  {
+    population_size = 16;
+    mutation_rate = 0.06;
+    crossover_rate = 0.8;
+    must_mutate_count = 1;
+    crossover_strength = 0.6;
+    tournament_size = 3;
+    elitism = 2;
+  }
+
+let strategy ?(params = default_params) () : Strategy.t =
+  (module struct
+    let name = "ga"
+
+    type state = {
+      problem : Strategy.problem;
+      (* persistent across generations: tournament selection reads the
+         previous generation's scores while breeding the next one *)
+      mutable population : bool array array;
+      mutable scores : float array;
+      mutable started : bool;
+    }
+
+    let init ~rng:_ ~problem ~termination:_ =
+      { problem; population = [||]; scores = [||]; started = false }
+
+    let breed st ~rng =
+      let ngenes = st.problem.Strategy.ngenes in
+      let repair = st.problem.Strategy.repair in
+      let population = st.population and scores = st.scores in
+      let tournament () =
+        let best = ref (Util.Rng.int rng (Array.length population)) in
+        for _ = 2 to params.tournament_size do
+          let c = Util.Rng.int rng (Array.length population) in
+          if scores.(c) > scores.(!best) then best := c
+        done;
+        !best
+      in
+      let crossover a b fa fb =
+        (* uniform crossover biased towards the fitter parent *)
+        let bias =
+          if fa >= fb then params.crossover_strength
+          else 1.0 -. params.crossover_strength
+        in
+        Array.init ngenes (fun i ->
+            if Util.Rng.float rng 1.0 < bias then a.(i) else b.(i))
+      in
+      let mutate g =
+        let flipped = ref 0 in
+        for i = 0 to ngenes - 1 do
+          if Util.Rng.float rng 1.0 < params.mutation_rate then begin
+            g.(i) <- not g.(i);
+            incr flipped
+          end
+        done;
+        while !flipped < params.must_mutate_count do
+          let i = Util.Rng.int rng ngenes in
+          g.(i) <- not g.(i);
+          incr flipped
+        done;
+        g
+      in
+      (* build next generation, exactly as large as the current one so
+         the blit below neither drops children nor reads past [np] *)
+      let psize = Array.length population in
+      let ranked =
+        let idx = Array.init psize (fun i -> i) in
+        Array.sort (fun i j -> compare scores.(j) scores.(i)) idx;
+        idx
+      in
+      let next = ref [] in
+      for e = 0 to min params.elitism psize - 1 do
+        next := Array.copy population.(ranked.(e)) :: !next
+      done;
+      while List.length !next < psize do
+        let i = tournament () and j = tournament () in
+        let child =
+          if Util.Rng.float rng 1.0 < params.crossover_rate then
+            crossover population.(i) population.(j) scores.(i) scores.(j)
+          else
+            Array.copy population.(if scores.(i) >= scores.(j) then i else j)
+        in
+        let child = repair (mutate child) in
+        next := child :: !next
+      done;
+      let np = Array.of_list (List.rev !next) in
+      assert (Array.length np = psize);
+      Array.blit np 0 population 0 psize
+
+    let ask st ~rng =
+      if not st.started then begin
+        st.started <- true;
+        let ngenes = st.problem.Strategy.ngenes in
+        let repair = st.problem.Strategy.repair in
+        let random_genome () =
+          Array.init ngenes (fun _ -> Util.Rng.bool rng)
+        in
+        let population =
+          let seeds =
+            List.map
+              (fun s -> repair (Array.copy s))
+              st.problem.Strategy.seeds
+          in
+          (* never discard seed vectors: the population is the larger of
+             the nominal size (floor 2, so tournaments have something to
+             pick from) and the seed count, padded with random genomes *)
+          let target = max (max params.population_size 2) (List.length seeds) in
+          let extra =
+            List.init
+              (max 0 (target - List.length seeds))
+              (fun _ -> repair (random_genome ()))
+          in
+          Array.of_list (seeds @ extra)
+        in
+        st.population <- population;
+        st.scores <- Array.make (Array.length population) neg_infinity
+      end
+      else breed st ~rng;
+      st.population
+
+    let tell st ~rng:_ ~genomes:_ ~scores =
+      (* merge into the persistent score table; [None] (budget exhausted
+         before this genome) keeps the stale value, exactly as the
+         pre-refactor engine did *)
+      Array.iteri
+        (fun i s ->
+          match s with Some f -> st.scores.(i) <- f | None -> ())
+        scores
+  end)

@@ -1,0 +1,50 @@
+(* Facade of the pluggable search layer: re-exports the strategy
+   contract, the shared engine, and the strategy registry.  Everything
+   downstream (tuner, CLI, bench drivers, tests) goes through [Search];
+   the internal modules stay hidden behind the wrapped library. *)
+
+module Strategy = Strategy
+module Engine = Engine
+module Genetic = Genetic
+module Local = Local
+module Baseline = Baseline
+module Ensemble = Ensemble
+
+type problem = Strategy.problem = {
+  ngenes : int;
+  seeds : bool array list;
+  repair : bool array -> bool array;
+}
+
+type termination = Strategy.termination = {
+  max_evaluations : int;
+  plateau_window : int;
+  plateau_epsilon : float;
+}
+
+type outcome = Strategy.outcome = {
+  best : bool array;
+  best_fitness : float;
+  evaluations : int;
+  history : (int * float) list;
+}
+
+module type STRATEGY = Strategy.STRATEGY
+
+type strategy = Strategy.t
+
+let default_termination = Strategy.default_termination
+let name = Strategy.name
+let run = Engine.run
+let all_names = [ "ga"; "hill"; "anneal"; "random"; "ensemble" ]
+
+let of_name = function
+  | "ga" -> Genetic.strategy ()
+  | "hill" -> Local.hill_climb ()
+  | "anneal" -> Local.anneal ()
+  | "random" -> Baseline.random ()
+  | "ensemble" -> Ensemble.strategy ()
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Search.of_name: unknown strategy %S (expected %s)" other
+         (String.concat "|" all_names))

@@ -1,0 +1,147 @@
+(** The pluggable metaheuristic search layer (paper §3.2/§4.1).
+
+    One contract ({!STRATEGY}, an ask/tell interface: propose a batch of
+    genomes, receive their scores) and one driver ({!run}) that owns
+    everything the strategies share — the evaluation budget, the
+    genome-keyed score cache with dedup at batch granularity, best/
+    history bookkeeping, plateau termination, and [search.<name>.*]
+    telemetry.  Five strategies ship: the generational GA
+    (bit-identical to the pre-refactor [Ga.Genetic] engine), batched
+    hill climbing and simulated annealing, a random baseline, and an
+    OpenTuner-style AUC-bandit ensemble over the other four. *)
+
+type problem = {
+  ngenes : int;  (** genome length: the profile's flag count *)
+  seeds : bool array list;
+      (** the -Ox preset vectors; every strategy's first batch contains
+          all of them (never-discard-seeds invariant) *)
+  repair : bool array -> bool array;
+      (** constraint repair; strategies apply it to every proposal *)
+}
+
+type termination = {
+  max_evaluations : int;
+  plateau_window : int;  (** evaluations with no relative improvement … *)
+  plateau_epsilon : float;  (** … above this rate stop the search (0.35%) *)
+}
+
+val default_termination : termination
+
+type outcome = {
+  best : bool array;
+  best_fitness : float;
+  evaluations : int;  (** distinct genomes scored *)
+  history : (int * float) list;
+      (** (evaluation index, best-so-far fitness), ascending *)
+}
+
+(** The strategy contract.  A strategy only decides what to try next;
+    scoring, budget, dedup, history, and termination live in the
+    engine. *)
+module type STRATEGY = sig
+  val name : string
+  (** Registry / telemetry name ([search.<name>.*] spans and gauges). *)
+
+  type state
+
+  val init :
+    rng:Util.Rng.t -> problem:problem -> termination:termination -> state
+  (** Create the strategy's private state.  Must not evaluate anything
+      and should not consume [rng] (so seeding stays with the first
+      {!ask}). *)
+
+  val ask : state -> rng:Util.Rng.t -> bool array array
+  (** Propose the next batch.  Every genome must already be
+      [problem.repair]-fixed.  The {e first} batch must contain every
+      repaired seed.  Returning [[||]] means the strategy is exhausted
+      and ends the search. *)
+
+  val tell :
+    state ->
+    rng:Util.Rng.t ->
+    genomes:bool array array ->
+    scores:float option array ->
+    unit
+  (** Receive the scores for the batch the last {!ask} proposed, element
+      for element.  [None] marks a genome the budget ran out before —
+      treat it as unevaluated.  Cached genomes come back with their
+      cached score at zero budget cost. *)
+end
+
+type strategy = (module STRATEGY)
+
+val name : strategy -> string
+
+val all_names : string list
+(** Registry order: ["ga"; "hill"; "anneal"; "random"; "ensemble"]. *)
+
+val of_name : string -> strategy
+(** Look up a registered strategy (default parameters).
+    @raise Invalid_argument on an unknown name. *)
+
+val run :
+  ?batch_fitness:(bool array array -> float array) ->
+  rng:Util.Rng.t ->
+  termination:termination ->
+  problem:problem ->
+  fitness:(bool array -> float) ->
+  strategy ->
+  outcome
+(** Maximize [fitness] with the given strategy.  Each generation the
+    strategy's batch is deduplicated against the run's evaluation cache,
+    truncated to the remaining budget, and scored as one array — by
+    [batch_fitness] when given (element [i] of its result must be the
+    fitness of genome [i]; the hook through which {!Bintuner.Tuner} fans
+    a generation out across a {!Parallel.Pool}) and by mapping [fitness]
+    otherwise.  All search decisions stay on the caller's [rng] in the
+    sequential part of the loop, so the outcome is a function of the
+    inputs alone — independent of how a batch hook schedules its work.
+    The budget is enforced at batch granularity: a batch is truncated,
+    never overrun.  The seed batch is evaluated unconditionally; every
+    later batch is gated on the budget and the plateau window. *)
+
+(** The generational GA (tournament selection, biased uniform crossover,
+    forced-minimum mutation, elitism); bit-identical to the
+    pre-refactor [Ga.Genetic.run]. *)
+module Genetic : sig
+  type params = {
+    population_size : int;
+    mutation_rate : float;  (** per-gene flip probability *)
+    crossover_rate : float;  (** probability a pair recombines *)
+    must_mutate_count : int;  (** minimum flips applied to each child *)
+    crossover_strength : float;  (** bias towards the fitter parent *)
+    tournament_size : int;
+    elitism : int;  (** individuals copied unchanged per generation *)
+  }
+
+  val default_params : params
+  val strategy : ?params:params -> unit -> strategy
+end
+
+(** Batched local search: steepest-ascent hill climbing with random
+    restarts (each ask is the full single-bit-flip neighbourhood) and
+    simulated annealing (each ask is [batch] proposals from the current
+    point; Metropolis acceptance replayed in proposal order over a
+    geometric temperature schedule driven by budget progress). *)
+module Local : sig
+  val hill_climb : unit -> strategy
+  val anneal : ?batch:int -> ?t0:float -> ?t_end:float -> unit -> strategy
+end
+
+(** Random search — the control baseline. *)
+module Baseline : sig
+  val random : ?batch:int -> unit -> strategy
+end
+
+(** OpenTuner-style AUC-bandit meta-strategy: allocates each
+    generation's batch to one sub-strategy by sliding-window
+    improvement credit plus a UCB exploration bonus.  Default subs:
+    ga, hill, anneal, random. *)
+module Ensemble : sig
+  val strategy :
+    ?window:int ->
+    ?exploration:float ->
+    ?subs:strategy list ->
+    unit ->
+    strategy
+end

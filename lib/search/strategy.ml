@@ -1,0 +1,87 @@
+(* The strategy contract of the pluggable search layer.
+
+   A strategy is an ask/tell loop: it proposes a whole batch of genomes
+   (compiler flag vectors), the engine scores the batch — deduplicated
+   against the run's evaluation cache, truncated to the remaining
+   budget, fanned out through whatever batch hook the caller installed
+   (the tuner's compile + NCD pipeline over a Parallel.Pool) — and the
+   scores come back through [tell].  All shared bookkeeping (budget,
+   best-so-far, history, plateau termination, telemetry) lives in
+   {!Engine}; a strategy only decides {e what to try next}. *)
+
+type problem = {
+  ngenes : int;  (** genome length: the profile's flag count *)
+  seeds : bool array list;
+      (** the -Ox preset vectors; every strategy's first batch must
+          contain all of them (never-discard-seeds invariant) *)
+  repair : bool array -> bool array;
+      (** constraint repair; strategies apply it to every proposal *)
+}
+
+type termination = {
+  max_evaluations : int;
+  plateau_window : int;
+  plateau_epsilon : float;
+}
+
+let default_termination =
+  { max_evaluations = 2000; plateau_window = 120; plateau_epsilon = 0.0035 }
+
+type outcome = {
+  best : bool array;
+  best_fitness : float;
+  evaluations : int;
+  history : (int * float) list;
+}
+
+module type STRATEGY = sig
+  val name : string
+  (** Registry / telemetry name ([search.<name>.*] spans and gauges). *)
+
+  type state
+
+  val init :
+    rng:Util.Rng.t -> problem:problem -> termination:termination -> state
+  (** Create the strategy's private state.  Must not evaluate anything
+      and should not consume [rng] (so seeding stays with the first
+      {!ask}). *)
+
+  val ask : state -> rng:Util.Rng.t -> bool array array
+  (** Propose the next batch.  Every genome must already be
+      [problem.repair]-fixed.  The {e first} batch must contain every
+      repaired seed.  Returning [[||]] means the strategy is exhausted
+      and ends the search. *)
+
+  val tell :
+    state ->
+    rng:Util.Rng.t ->
+    genomes:bool array array ->
+    scores:float option array ->
+    unit
+  (** Receive the scores for the batch the last {!ask} proposed, element
+      for element.  [None] marks a genome the budget ran out before —
+      treat it as unevaluated.  Cached genomes come back with their
+      cached score at zero budget cost. *)
+end
+
+type t = (module STRATEGY)
+
+let name (module S : STRATEGY) = S.name
+
+let genome_key g =
+  String.init (Array.length g) (fun i -> if g.(i) then '1' else '0')
+
+let random_genome rng ngenes = Array.init ngenes (fun _ -> Util.Rng.bool rng)
+
+(* The shared seed batch: every repaired -Ox seed first (in order), then
+   random repaired genomes up to [target].  Used by the non-GA
+   strategies; the GA builds its initial population itself to stay
+   bit-identical with the pre-refactor engine. *)
+let seed_batch ~rng ~problem ~target =
+  let seeds = List.map (fun s -> problem.repair (Array.copy s)) problem.seeds in
+  let extra =
+    List.init
+      (max 0 (target - List.length seeds))
+      (fun _ -> problem.repair (random_genome rng problem.ngenes))
+  in
+  Array.of_list (seeds @ extra)

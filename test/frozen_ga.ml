@@ -1,3 +1,11 @@
+(* The pre-refactor GA engine ([Ga.Genetic.run] as of PR 3), frozen
+   verbatim (telemetry stripped) as a differential oracle: the ported GA
+   strategy running on the shared [Search] engine must reproduce this
+   implementation bit-for-bit — same best vector, fitness, evaluation
+   count, and history — for any rng seed, landscape, seed set, and
+   batch hook.  Do not "improve" this file; its value is that it does
+   not change. *)
+
 type params = {
   population_size : int;
   mutation_rate : float;
@@ -25,9 +33,6 @@ type termination = {
   plateau_epsilon : float;
 }
 
-let default_termination =
-  { max_evaluations = 2000; plateau_window = 120; plateau_epsilon = 0.0035 }
-
 type outcome = {
   best : bool array;
   best_fitness : float;
@@ -44,8 +49,7 @@ type state = {
   mutable best : bool array;
   mutable best_fitness : float;
   mutable history_rev : (int * float) list;
-  (* best fitness as of [evals - plateau_window] evaluations ago *)
-  mutable recent : (int * float) list;  (** (eval index, best at that point) *)
+  mutable recent : (int * float) list;
 }
 
 let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
@@ -75,12 +79,6 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
     st.history_rev <- (st.evals, st.best_fitness) :: st.history_rev;
     st.recent <- (st.evals, st.best_fitness) :: st.recent
   in
-  (* Score a whole generation at once: the distinct not-yet-evaluated
-     genomes (first-occurrence order, truncated to the remaining budget)
-     go to [batch] as one array — the parallel engine's unit of work —
-     and the bookkeeping is then replayed sequentially in that same
-     order, so best/history/evaluation counts never depend on how the
-     batch was scheduled. *)
   let evaluate_generation population scores =
     let seen = Hashtbl.create 16 in
     let pending = ref [] in
@@ -94,29 +92,23 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
       population;
     let budget = max 0 (termination.max_evaluations - st.evals) in
     let pending = List.filteri (fun i _ -> i < budget) (List.rev !pending) in
-    Telemetry.add_count ~by:(List.length pending) "ga.evaluations";
-    Telemetry.add_count
-      ~by:(Array.length population - List.length pending)
-      "ga.cache_hits";
     if pending <> [] then begin
       let arr = Array.of_list pending in
-      let fs = Telemetry.with_span "ga.evaluate_batch" (fun () -> batch arr) in
+      let fs = batch arr in
       Array.iteri (fun i g -> record g fs.(i)) arr
     end;
     Array.iteri
       (fun i g ->
         match Hashtbl.find_opt st.cache (genome_key g) with
         | Some f -> scores.(i) <- f
-        | None -> () (* budget exhausted before this genome; stale score *))
+        | None -> ())
       population
   in
   let plateaued () =
     if st.evals < termination.plateau_window then false
     else begin
-      (* drop entries older than the window *)
       let horizon = st.evals - termination.plateau_window in
-      st.recent <-
-        List.filter (fun (e, _) -> e >= horizon) st.recent;
+      st.recent <- List.filter (fun (e, _) -> e >= horizon) st.recent;
       let oldest =
         List.fold_left
           (fun acc (e, f) ->
@@ -129,20 +121,14 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
       match oldest with
       | Some (_, old_best) when old_best > 0.0 ->
         let gain = (st.best_fitness -. old_best) /. old_best in
-        Telemetry.set_gauge "ga.plateau_gain" gain;
         gain < termination.plateau_epsilon
       | Some (_, old_best) -> st.best_fitness <= old_best
       | None -> false
     end
   in
-  let random_genome () =
-    Array.init ngenes (fun _ -> Util.Rng.bool rng)
-  in
+  let random_genome () = Array.init ngenes (fun _ -> Util.Rng.bool rng) in
   let population =
     let seeds = List.map (fun s -> repair (Array.copy s)) seeds in
-    (* never discard seed vectors: the population is the larger of the
-       nominal size (floor 2, so tournaments have something to pick
-       from) and the seed count, padded with random genomes *)
     let target = max (max params.population_size 2) (List.length seeds) in
     let extra =
       List.init
@@ -162,7 +148,6 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
     !best
   in
   let crossover a b fa fb =
-    (* uniform crossover biased towards the fitter parent *)
     let bias =
       if fa >= fb then params.crossover_strength
       else 1.0 -. params.crossover_strength
@@ -191,39 +176,30 @@ let run ?batch_fitness ~rng ~params ~termination ~ngenes ~seeds ~repair ~fitness
   let generation = ref 0 in
   while continue_ () do
     incr generation;
-    Telemetry.with_span
-      ~attrs:[ ("generation", string_of_int !generation) ]
-      "ga.generation"
-      (fun () ->
-        (* build next generation, exactly as large as the current one so
-           the blit below neither drops children nor reads past [np] *)
-        let psize = Array.length population in
-        let ranked =
-          let idx = Array.init psize (fun i -> i) in
-          Array.sort (fun i j -> compare scores.(j) scores.(i)) idx;
-          idx
-        in
-        let next = ref [] in
-        for e = 0 to min params.elitism psize - 1 do
-          next := Array.copy population.(ranked.(e)) :: !next
-        done;
-        while List.length !next < psize do
-          let i = tournament () and j = tournament () in
-          let child =
-            if Util.Rng.float rng 1.0 < params.crossover_rate then
-              crossover population.(i) population.(j) scores.(i) scores.(j)
-            else
-              Array.copy population.(if scores.(i) >= scores.(j) then i else j)
-          in
-          let child = repair (mutate child) in
-          next := child :: !next
-        done;
-        let np = Array.of_list (List.rev !next) in
-        assert (Array.length np = psize);
-        Array.blit np 0 population 0 psize;
-        evaluate_generation population scores);
-    Telemetry.set_gauge "ga.best_fitness" st.best_fitness;
-    Telemetry.set_gauge "ga.evaluations" (float_of_int st.evals)
+    let psize = Array.length population in
+    let ranked =
+      let idx = Array.init psize (fun i -> i) in
+      Array.sort (fun i j -> compare scores.(j) scores.(i)) idx;
+      idx
+    in
+    let next = ref [] in
+    for e = 0 to min params.elitism psize - 1 do
+      next := Array.copy population.(ranked.(e)) :: !next
+    done;
+    while List.length !next < psize do
+      let i = tournament () and j = tournament () in
+      let child =
+        if Util.Rng.float rng 1.0 < params.crossover_rate then
+          crossover population.(i) population.(j) scores.(i) scores.(j)
+        else Array.copy population.(if scores.(i) >= scores.(j) then i else j)
+      in
+      let child = repair (mutate child) in
+      next := child :: !next
+    done;
+    let np = Array.of_list (List.rev !next) in
+    assert (Array.length np = psize);
+    Array.blit np 0 population 0 psize;
+    evaluate_generation population scores
   done;
   {
     best = st.best;

@@ -17,7 +17,7 @@
      compile. *)
 
 let term_small =
-  { Ga.Genetic.max_evaluations = 60; plateau_window = 40; plateau_epsilon = 0.0035 }
+  { Search.max_evaluations = 60; plateau_window = 40; plateau_epsilon = 0.0035 }
 
 let test_memo_on_off_equal () =
   List.iter

@@ -12,6 +12,7 @@ let () =
       ("compiler", Test_compiler.tests);
       ("diffing", Test_diffing.tests);
       ("tuner", Test_tuner.tests);
+      ("search", Test_search.tests);
       ("parallel", Test_parallel.tests);
       ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);

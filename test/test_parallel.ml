@@ -137,10 +137,48 @@ let test_pool_submitter_helps () =
         [| (0, true); (1, true) |]
         results)
 
+let test_pool_live_domain_accounting () =
+  let before = Parallel.Pool.live_domains () in
+  let p = Parallel.Pool.create 4 in
+  Alcotest.(check int)
+    "create 4 spawns 3 workers" (before + 3)
+    (Parallel.Pool.live_domains ());
+  Parallel.Pool.shutdown p;
+  Alcotest.(check int)
+    "shutdown joins them" before
+    (Parallel.Pool.live_domains ());
+  Parallel.Pool.shutdown p;
+  Alcotest.(check int)
+    "idempotent shutdown leaves the count alone" before
+    (Parallel.Pool.live_domains ());
+  let inline = Parallel.Pool.create 1 in
+  Alcotest.(check int)
+    "size-1 pools spawn nothing" before
+    (Parallel.Pool.live_domains ());
+  Parallel.Pool.shutdown inline
+
+let test_poolless_tune_leaks_no_domains () =
+  (* regression: a pool-less [Tuner.tune] used to create its internal
+     pool and never shut it down, so repeated calls accumulated
+     unjoined resources *)
+  let before = Parallel.Pool.live_domains () in
+  let term =
+    { Search.max_evaluations = 6; plateau_window = 1000; plateau_epsilon = 0.0 }
+  in
+  for _ = 1 to 3 do
+    ignore
+      (Bintuner.Tuner.tune ~termination:term ~profile:Toolchain.Flags.llvm
+         (Corpus.find "462.libquantum")
+        : Bintuner.Tuner.result)
+  done;
+  Alcotest.(check int)
+    "repeated pool-less tune calls leave no live domains" before
+    (Parallel.Pool.live_domains ())
+
 (* --- the determinism differential --- *)
 
 let diff_term =
-  { Ga.Genetic.max_evaluations = 60; plateau_window = 40; plateau_epsilon = 0.0035 }
+  { Search.max_evaluations = 60; plateau_window = 40; plateau_epsilon = 0.0035 }
 
 let entry_list r =
   List.map
@@ -224,6 +262,10 @@ let tests =
     Alcotest.test_case "pool map_reduce" `Quick test_pool_map_reduce;
     Alcotest.test_case "pool degenerate" `Quick test_pool_sequential_degenerate;
     Alcotest.test_case "pool submitter helps" `Quick test_pool_submitter_helps;
+    Alcotest.test_case "pool live-domain accounting" `Quick
+      test_pool_live_domain_accounting;
+    Alcotest.test_case "pool-less tune leaks no domains" `Slow
+      test_poolless_tune_leaks_no_domains;
     Alcotest.test_case "tune j-independent" `Slow test_tune_j_independent;
     Alcotest.test_case "tune fan-out j-independent" `Slow
       test_tune_fanout_j_independent;

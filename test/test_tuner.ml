@@ -1,8 +1,17 @@
-(* Tests for the search stack: GA engine, the BinTuner loop, the AV
-   fleet, the provenance classifier, and the NCD fitness. *)
+(* Tests for the search stack: the GA strategy on the shared engine, the
+   BinTuner loop, the AV fleet, the provenance classifier, and the NCD
+   fitness.  (The strategy-contract harness covering every registered
+   strategy lives in test_search.ml.) *)
 
 let quick_term =
-  { Ga.Genetic.max_evaluations = 120; plateau_window = 60; plateau_epsilon = 0.0035 }
+  { Search.max_evaluations = 120; plateau_window = 60; plateau_epsilon = 0.0035 }
+
+let run_ga ?(params = Search.Genetic.default_params) ~rng ~termination ~ngenes
+    ~seeds ~repair ~fitness () =
+  Search.run ~rng ~termination
+    ~problem:{ Search.ngenes; seeds; repair }
+    ~fitness
+    (Search.Genetic.strategy ~params ())
 
 (* --- genetic algorithm on a known landscape --- *)
 
@@ -10,47 +19,46 @@ let test_ga_onemax () =
   (* fitness = number of set bits; the GA must get close to all-ones *)
   let rng = Util.Rng.create 7 in
   let outcome =
-    Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params
+    run_ga ~rng
       ~termination:
-        { Ga.Genetic.max_evaluations = 600; plateau_window = 200; plateau_epsilon = 0.001 }
+        { Search.max_evaluations = 600; plateau_window = 200; plateau_epsilon = 0.001 }
       ~ngenes:24 ~seeds:[] ~repair:(fun g -> g)
       ~fitness:(fun g ->
         float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g))
       ()
   in
-  Alcotest.(check bool) "near optimum" true (outcome.best_fitness >= 22.0)
+  Alcotest.(check bool) "near optimum" true (outcome.Search.best_fitness >= 22.0)
 
 let test_ga_respects_repair () =
   (* repair forces gene 0 off; the best genome must respect that *)
   let rng = Util.Rng.create 9 in
   let outcome =
-    Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params ~termination:quick_term
-      ~ngenes:8 ~seeds:[]
+    run_ga ~rng ~termination:quick_term ~ngenes:8 ~seeds:[]
       ~repair:(fun g ->
         g.(0) <- false;
         g)
       ~fitness:(fun g -> if g.(0) then 100.0 else 1.0)
       ()
   in
-  Alcotest.(check bool) "gene 0 forced off" false outcome.best.(0)
+  Alcotest.(check bool) "gene 0 forced off" false outcome.Search.best.(0)
 
 let test_ga_deterministic () =
   let run seed =
     let rng = Util.Rng.create seed in
-    (Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params ~termination:quick_term
-       ~ngenes:16 ~seeds:[] ~repair:(fun g -> g)
+    (run_ga ~rng ~termination:quick_term ~ngenes:16 ~seeds:[]
+       ~repair:(fun g -> g)
        ~fitness:(fun g ->
          float_of_int (Hashtbl.hash (Array.to_list g) mod 1000))
        ())
-      .best_fitness
+      .Search.best_fitness
   in
   Alcotest.(check (float 1e-9)) "same seed same outcome" (run 3) (run 3)
 
 let test_ga_history_monotone () =
   let rng = Util.Rng.create 11 in
   let outcome =
-    Ga.Genetic.run ~rng ~params:Ga.Genetic.default_params ~termination:quick_term
-      ~ngenes:12 ~seeds:[] ~repair:(fun g -> g)
+    run_ga ~rng ~termination:quick_term ~ngenes:12 ~seeds:[]
+      ~repair:(fun g -> g)
       ~fitness:(fun g ->
         float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g))
       ()
@@ -59,23 +67,8 @@ let test_ga_history_monotone () =
     | (_, a) :: ((_, b) :: _ as rest) -> a <= b && monotone rest
     | _ -> true
   in
-  Alcotest.(check bool) "best-so-far is monotone" true (monotone outcome.history)
-
-let test_strategies_on_onemax () =
-  (* both alternative strategies must also solve an easy landscape *)
-  let fitness g =
-    float_of_int (Array.fold_left (fun a b -> if b then a + 1 else a) 0 g)
-  in
-  let run f =
-    let rng = Util.Rng.create 21 in
-    (f ~rng ~max_evaluations:500 ~ngenes:16 ~seeds:[] ~repair:(fun g -> g)
-       ~fitness)
-      .Ga.Genetic.best_fitness
-  in
-  Alcotest.(check bool) "hill climb solves onemax" true
-    (run Ga.Strategies.hill_climb >= 15.0);
-  Alcotest.(check bool) "anneal near optimum" true
-    (run Ga.Strategies.anneal >= 13.0)
+  Alcotest.(check bool) "best-so-far is monotone" true
+    (monotone outcome.Search.history)
 
 let test_ga_keeps_all_seeds () =
   (* population sizing regression: with more seed vectors than
@@ -92,31 +85,19 @@ let test_ga_keeps_all_seeds () =
   in
   let rng = Util.Rng.create 5 in
   let outcome =
-    Ga.Genetic.run ~rng
-      ~params:{ Ga.Genetic.default_params with population_size = 2 }
+    run_ga ~rng
+      ~params:{ Search.Genetic.default_params with population_size = 2 }
       ~termination:
-        { Ga.Genetic.max_evaluations = 8; plateau_window = 1000; plateau_epsilon = 0.0 }
+        { Search.max_evaluations = 8; plateau_window = 1000; plateau_epsilon = 0.0 }
       ~ngenes ~seeds
       ~repair:(fun g -> g)
       ~fitness:(fun g -> if g = magic then 1000.0 else 0.0)
       ()
   in
-  Alcotest.(check (float 1e-9)) "last seed evaluated" 1000.0 outcome.best_fitness;
-  Alcotest.(check bool) "all five seeds scored" true (outcome.evaluations >= 5)
-
-let test_strategies_respect_budget () =
-  let count = ref 0 in
-  let fitness g =
-    incr count;
-    float_of_int (Hashtbl.hash (Array.to_list g) mod 100)
-  in
-  let rng = Util.Rng.create 4 in
-  let o =
-    Ga.Strategies.anneal ~rng ~max_evaluations:50 ~ngenes:10 ~seeds:[]
-      ~repair:(fun g -> g) ~fitness
-  in
-  Alcotest.(check bool) "budget respected" true
-    (o.Ga.Genetic.evaluations <= 50 && !count <= 50)
+  Alcotest.(check (float 1e-9)) "last seed evaluated" 1000.0
+    outcome.Search.best_fitness;
+  Alcotest.(check bool) "all five seeds scored" true
+    (outcome.Search.evaluations >= 5)
 
 (* --- the tuner --- *)
 
@@ -373,8 +354,6 @@ let tests =
     Alcotest.test_case "ga deterministic" `Quick test_ga_deterministic;
     Alcotest.test_case "ga history monotone" `Quick test_ga_history_monotone;
     Alcotest.test_case "ga keeps all seeds" `Quick test_ga_keeps_all_seeds;
-    Alcotest.test_case "strategies onemax" `Quick test_strategies_on_onemax;
-    Alcotest.test_case "strategies budget" `Quick test_strategies_respect_budget;
     Alcotest.test_case "tuner beats presets" `Slow test_tuner_beats_presets_on_fitness;
     Alcotest.test_case "tuner functional" `Slow test_tuner_functional;
     Alcotest.test_case "tuner database" `Slow test_tuner_database;

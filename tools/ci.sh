@@ -12,9 +12,10 @@
 #      reproduce the sentinel recorded before the NCD kernel overhaul;
 #   5. telemetry smoke — a one-benchmark fig5 run with -trace must emit
 #      parseable ndjson covering the span vocabulary (compile, pass.*,
-#      ga.generation, pool.chunk, tuner.binhunt) and a -profile cost split,
-#      while the default (telemetry-off) path emits nothing and reproduces
-#      the same sentinel; the fig5 NCD batch must report size-cache hits;
+#      search.ga.generation, pool.chunk, tuner.binhunt) and a -profile
+#      cost split, while the default (telemetry-off) path emits nothing
+#      and reproduces the same sentinel; the fig5 NCD batch must report
+#      size-cache hits;
 #   6. ncd microbench smoke — the `ncd` experiment must emit a parseable
 #      BENCH_ncd.json whose chained-vs-greedy throughput speedup is > 1;
 #   7. static-analysis gate — the IR verifier must accept every pass of a
@@ -22,7 +23,14 @@
 #      valid flag vectors), the pedantic lint must report nothing beyond
 #      tools/lint_allowlist.txt, and a one-benchmark fig5 run with
 #      -verify (the between-pass verifier on the bench hot path) must
-#      succeed.
+#      succeed;
+#   8. strategy smoke gate — every registered search strategy (ga, hill,
+#      anneal, random, ensemble) must complete a small CLI tune within
+#      its evaluation budget, and the GA-through-the-framework table1 run
+#      is already pinned to the frozen greedy sentinel by step 4;
+#   9. search microbench smoke — the `search` experiment must emit a
+#      parseable BENCH_search.json covering all five strategies, each
+#      within the declared budget.
 #
 # Exits non-zero on any failure.
 
@@ -91,7 +99,7 @@ for line in open(sys.argv[1]):
 ' "$trace_file" || { echo "ci: FAIL — trace is not parseable ndjson" >&2; exit 1; }
 fi
 
-for span in '"name":"compile"' '"name":"pass.' '"name":"ga.generation"' \
+for span in '"name":"compile"' '"name":"pass.' '"name":"search.ga.generation"' \
             '"name":"pool.chunk"' '"name":"tuner.ncd"' '"name":"tuner.binhunt"'; do
   grep -q "$span" "$trace_file" \
     || { echo "ci: FAIL — trace missing expected span $span" >&2; exit 1; }
@@ -149,4 +157,57 @@ assert d["size_cache"]["hits"] > 0
     || { echo "ci: FAIL — BENCH_ncd.json failed validation" >&2; exit 1; }
 fi
 
-echo "ci: OK (sentinel $sentinel_j1, greedy oracle stable, $memo_hits memo hits, ncd cache hits $ncd_hits, $(wc -l < "$trace_file") trace events)"
+echo "== ci: strategy smoke gate (CLI tune, all strategies) =="
+# Every strategy must run end-to-end through the shared search engine and
+# the batched Pool + size-cache fitness path, and must respect the
+# evaluation budget handed to it.  (GA bit-identity with the pre-refactor
+# engine is pinned separately: step 4's frozen greedy sentinel exercises
+# the GA through the framework.)
+strategy_budget=40
+for s in ga hill anneal random ensemble; do
+  tune_line=$(dune exec bin/bintuner_cli.exe -- tune --bench 462.libquantum \
+      --profile llvm --strategy "$s" --max-iterations "$strategy_budget" \
+    | grep '^tuned ')
+  echo "$tune_line"
+  case "$tune_line" in
+    *"[$s]"*) ;;
+    *) echo "ci: FAIL — tune output does not carry strategy tag [$s]" >&2; exit 1 ;;
+  esac
+  iters=$(echo "$tune_line" | awk '{print $6}')
+  case "$iters" in
+    ''|*[!0-9]*) echo "ci: FAIL — could not parse iteration count for $s" >&2; exit 1 ;;
+  esac
+  [ "$iters" -ge 1 ] && [ "$iters" -le "$strategy_budget" ] \
+    || { echo "ci: FAIL — strategy $s ran $iters iterations against budget $strategy_budget" >&2; exit 1; }
+done
+
+echo "== ci: search microbench smoke =="
+search_dir=$(mktemp -d)
+trap 'rm -f "$smoke_log" "$trace_file" "$profile_log"; rm -rf "$ncd_dir" "$search_dir"' EXIT
+# scratch cwd again, so the quick-budget numbers never overwrite a
+# committed full-run BENCH_search.json
+(cd "$search_dir" && "$root/_build/default/bench/main.exe" -quick -j 2 \
+  -only 462.libquantum search) > "$search_dir/search.log"
+[ -s "$search_dir/BENCH_search.json" ] \
+  || { echo "ci: FAIL — search microbench wrote no BENCH_search.json" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq -e '(.budget > 0) and ((.runs | length) >= 5)
+         and ([.runs[].strategy] | unique | length >= 5)
+         and ([.runs[] | select(.evaluations < 1 or .evaluations > $b)] | length == 0)' \
+    --argjson b "$(jq .budget "$search_dir/BENCH_search.json")" \
+    "$search_dir/BENCH_search.json" >/dev/null \
+    || { echo "ci: FAIL — BENCH_search.json failed validation" >&2; exit 1; }
+else
+  python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["budget"] > 0
+assert len(d["runs"]) >= 5
+assert len({r["strategy"] for r in d["runs"]}) >= 5
+for r in d["runs"]:
+    assert 1 <= r["evaluations"] <= d["budget"], r
+' "$search_dir/BENCH_search.json" \
+    || { echo "ci: FAIL — BENCH_search.json failed validation" >&2; exit 1; }
+fi
+
+echo "ci: OK (sentinel $sentinel_j1, greedy oracle stable, $memo_hits memo hits, ncd cache hits $ncd_hits, all strategies within budget, $(wc -l < "$trace_file") trace events)"
