@@ -16,10 +16,12 @@ check:
 
 # A fast end-to-end exercise of the tuning engine: quick search budget,
 # two worker domains, full Table 1 driver (pretune fan-out + compile memo
-# + determinism sentinel all on the hot path), then the search-strategy
-# microbench (all five strategies through the batched evaluation path,
-# emitting BENCH_search.json) from a scratch directory so the smoke
-# numbers never clobber a committed full-run artifact.
+# + pass-prefix snapshot store + determinism sentinel all on the hot
+# path), then the search-strategy microbench (all five strategies through
+# the batched evaluation path, per-run evals/sec, and the hill
+# incremental-compilation off/on ablation, emitting BENCH_search.json)
+# from a scratch directory so the smoke numbers never clobber a committed
+# full-run artifact.
 bench-smoke:
 	dune exec bench/main.exe -- -quick -j 2 table1
 	dune build bench/main.exe

@@ -56,12 +56,14 @@ let tune_cache : (string * string * Isa.Insn.arch, Bintuner.Tuner.result) Hashtb
 let report_tuned bench (profile : Toolchain.Flags.profile)
     (r : Bintuner.Tuner.result) =
   printf
-    "  [tuned] %-18s %-9s iters=%-4d NCD=%.3f functional=%b memo=%d/%d ncd-cache=%d/%d\n%!"
+    "  [tuned] %-18s %-9s iters=%-4d NCD=%.3f functional=%b memo=%d/%d ncd-cache=%d/%d incr=%d/%d\n%!"
     bench.Corpus.bname profile.profile_name r.iterations r.best_ncd
     r.functional_ok r.cache_hits
     (r.cache_hits + r.compilations)
     r.ncd_cache_hits
     (r.ncd_cache_hits + r.ncd_cache_misses)
+    r.incr_hits
+    (r.incr_hits + r.incr_misses)
 
 let tuned ?(arch = Isa.Insn.X86_64) profile bench =
   let key = (profile.Toolchain.Flags.profile_name, bench.Corpus.bname, arch) in
@@ -285,6 +287,7 @@ let table1 () =
      compile memo on or off — tools/ci.sh greps for it, and the
      differential test suite asserts the underlying property per run. *)
   let hits = ref 0 and requests = ref 0 in
+  let ihits = ref 0 and ilookups = ref 0 in
   let buf = Buffer.create 4096 in
   List.iter
     (fun profile ->
@@ -293,6 +296,8 @@ let table1 () =
           let r = tuned profile b in
           hits := !hits + r.Bintuner.Tuner.cache_hits;
           requests := !requests + r.cache_hits + r.compilations;
+          ihits := !ihits + r.incr_hits;
+          ilookups := !ilookups + r.incr_hits + r.incr_misses;
           Buffer.add_string buf
             (Printf.sprintf "%s/%s best=%s ncd=%.6f iters=%d memo=%d+%d %s\n"
                r.benchmark r.profile_name
@@ -306,6 +311,9 @@ let table1 () =
     [ Toolchain.Flags.llvm; Toolchain.Flags.gcc ];
   printf "compile memo: %d of %d compile requests served from cache\n" !hits
     !requests;
+  (* the sentinel above is computed over runs with the prefix store on
+     (the tuner's default): lossless caching means it must not drift *)
+  printf "prefix cache: %d of %d snapshot lookups hit\n" !ihits !ilookups;
   printf "table1 determinism sentinel: %s\n"
     (Digest.to_hex (Digest.string (Buffer.contents buf)))
 
@@ -923,21 +931,48 @@ let bechamel () =
    memoized in a per-run size cache — with the -Ox preset seeds and a
    per-run rng fixed by [seed], so strategies differ only in what they
    propose. *)
-let run_strategy ?(seed = 77) ~budget ~plateau profile bench strategy_name =
+type strategy_run = {
+  outcome : Search.outcome;
+  wall_seconds : float;
+  evals_per_sec : float;
+  improvements : (float * float) list;
+      (* (wall seconds since start, best-so-far) at batch granularity;
+         the last entry is the wall-clock-to-final-fitness *)
+  incr_hits : int;
+  incr_misses : int;
+}
+
+let run_strategy ?(seed = 77) ?(incremental = false) ?(ncd_bound = false)
+    ~budget ~plateau profile bench strategy_name =
   let ast = Corpus.program bench in
   let baseline = preset_binary profile "O0" bench in
   let baseline_stream = Bintuner.Tuner.code_stream baseline in
   let ncd_cache = Compress.Sizecache.create () in
+  let store = if incremental then Some (Bintuner.Incremental.create ()) else None in
+  let snapshot = Option.map Bintuner.Incremental.snapshot_store store in
+  let incumbent = ref neg_infinity in
+  let t0 = Unix.gettimeofday () in
+  let best = ref neg_infinity in
+  let improvements = ref [] in
   let batch_fitness vectors =
     let streams =
       Parallel.Pool.map !pool
         (fun v ->
           Bintuner.Tuner.code_stream
-            (Toolchain.Pipeline.compile_flags profile v ast))
+            (Toolchain.Pipeline.compile_flags profile v ?snapshot ast))
         vectors
     in
-    Compress.Ncd.against ~pool:!pool ~cache:ncd_cache
-      ~baseline:baseline_stream streams
+    let ncds =
+      Compress.Ncd.against ~pool:!pool ~cache:ncd_cache
+        ?incumbent:(if ncd_bound then Some !incumbent else None)
+        ~baseline:baseline_stream streams
+    in
+    let bmax = Array.fold_left max neg_infinity ncds in
+    if bmax > !best then begin
+      best := bmax;
+      improvements := (Unix.gettimeofday () -. t0, bmax) :: !improvements
+    end;
+    ncds
   in
   let fitness v = (batch_fitness [| v |]).(0) in
   let rng = Util.Rng.create seed in
@@ -964,8 +999,22 @@ let run_strategy ?(seed = 77) ~budget ~plateau profile bench strategy_name =
         plateau_window = budget;
         plateau_epsilon = 0.0 }
   in
-  Search.run ~batch_fitness ~rng ~termination ~problem ~fitness
-    (Search.of_name strategy_name)
+  let outcome =
+    Search.run ~batch_fitness
+      ~notify_incumbent:(fun f -> incumbent := f)
+      ~rng ~termination ~problem ~fitness
+      (Search.of_name strategy_name)
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  {
+    outcome;
+    wall_seconds;
+    evals_per_sec = float_of_int outcome.Search.evaluations /. wall_seconds;
+    improvements = List.rev !improvements;
+    incr_hits = (match store with Some s -> Bintuner.Incremental.hits s | None -> 0);
+    incr_misses =
+      (match store with Some s -> Bintuner.Incremental.misses s | None -> 0);
+  }
 
 let ablation () =
   print_string
@@ -977,11 +1026,9 @@ let ablation () =
       let bench = Corpus.find bname in
       List.iter
         (fun sname ->
-          let outcome =
-            run_strategy ~budget ~plateau:None profile bench sname
-          in
+          let r = run_strategy ~budget ~plateau:None profile bench sname in
           printf "  %-14s %-10s best fitness %.3f in %d evaluations\n%!" bname
-            sname outcome.Search.best_fitness outcome.evaluations)
+            sname r.outcome.Search.best_fitness r.outcome.evaluations)
         Search.all_names)
     [ ("462.libquantum", Toolchain.Flags.llvm); ("coreutils", Toolchain.Flags.gcc) ]
 
@@ -1009,24 +1056,72 @@ let search_bench () =
           (fun profile ->
             List.map
               (fun sname ->
-                let outcome =
-                  run_strategy ~budget ~plateau:None profile bench sname
-                in
-                printf "  %-18s %-9s %-10s best NCD %.3f in %d evaluations\n%!"
+                let r = run_strategy ~budget ~plateau:None profile bench sname in
+                printf
+                  "  %-18s %-9s %-10s best NCD %.3f in %d evaluations \
+                   (%.1f evals/s)\n%!"
                   bench.Corpus.bname profile.Toolchain.Flags.profile_name sname
-                  outcome.Search.best_fitness outcome.evaluations;
-                (bench, profile, sname, outcome))
+                  r.outcome.Search.best_fitness r.outcome.Search.evaluations
+                  r.evals_per_sec;
+                (bench, profile, sname, r))
               Search.all_names)
           profiles)
       benches
   in
+  (* The incremental-compilation ablation: hill at the same fixed budget
+     with the pass-prefix snapshot store off, then on.  Hill's ask is
+     the full single-bit-flip neighbourhood of the current point, the
+     best case for prefix resume — and the store is lossless, so the two
+     outcomes must be identical and only throughput may move. *)
+  print_string
+    (section "Incremental compilation: hill evals/sec, prefix store off vs on");
+  let time_to_best r =
+    match List.rev r.improvements with (t, _) :: _ -> t | [] -> r.wall_seconds
+  in
+  let incr_cases =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun profile ->
+            let off =
+              run_strategy ~incremental:false ~budget ~plateau:None profile
+                bench "hill"
+            in
+            let on =
+              run_strategy ~incremental:true ~budget ~plateau:None profile
+                bench "hill"
+            in
+            let identical =
+              off.outcome.Search.best = on.outcome.Search.best
+              && off.outcome.best_fitness = on.outcome.best_fitness
+              && off.outcome.evaluations = on.outcome.evaluations
+              && off.outcome.history = on.outcome.history
+            in
+            let speedup = on.evals_per_sec /. off.evals_per_sec in
+            printf
+              "  %-18s %-9s hill  %6.1f -> %6.1f evals/s (%.2fx)  \
+               to-best %.2fs -> %.2fs  prefix hits %d/%d  identical=%b\n%!"
+              bench.Corpus.bname profile.Toolchain.Flags.profile_name
+              off.evals_per_sec on.evals_per_sec speedup (time_to_best off)
+              (time_to_best on) on.incr_hits
+              (on.incr_hits + on.incr_misses)
+              identical;
+            (bench, profile, off, on, speedup, identical))
+          profiles)
+      benches
+  in
+  let speedup_min =
+    List.fold_left (fun a (_, _, _, _, s, _) -> min a s) infinity incr_cases
+  in
+  printf "  minimum hill evals/sec speedup: %.2fx\n" speedup_min;
   let oc = open_out "BENCH_search.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"budget\": %d,\n" budget;
   out "  \"runs\": [\n";
   List.iteri
-    (fun i (bench, profile, sname, outcome) ->
+    (fun i (bench, profile, sname, r) ->
+      let outcome = r.outcome in
       let history =
         String.concat ","
           (List.map
@@ -1035,15 +1130,40 @@ let search_bench () =
       in
       out
         "    {\"benchmark\": %S, \"profile\": %S, \"strategy\": %S, \
-         \"best_ncd\": %.4f, \"evaluations\": %d, \"history\": [%s]}%s\n"
+         \"best_ncd\": %.4f, \"evaluations\": %d, \"wall_seconds\": %.3f, \
+         \"evals_per_sec\": %.2f, \"time_to_best_seconds\": %.3f, \
+         \"history\": [%s]}%s\n"
         bench.Corpus.bname profile.Toolchain.Flags.profile_name sname
-        outcome.Search.best_fitness outcome.Search.evaluations history
+        outcome.Search.best_fitness outcome.Search.evaluations r.wall_seconds
+        r.evals_per_sec (time_to_best r) history
         (if i = List.length runs - 1 then "" else ","))
     runs;
-  out "  ]\n";
+  out "  ],\n";
+  out "  \"incremental\": [\n";
+  List.iteri
+    (fun i (bench, profile, off, on, speedup, identical) ->
+      let side (r : strategy_run) =
+        Printf.sprintf
+          "{\"wall_seconds\": %.3f, \"evals_per_sec\": %.2f, \
+           \"time_to_best_seconds\": %.3f, \"incr_hits\": %d, \
+           \"incr_misses\": %d}"
+          r.wall_seconds r.evals_per_sec (time_to_best r) r.incr_hits
+          r.incr_misses
+      in
+      out
+        "    {\"benchmark\": %S, \"profile\": %S, \"strategy\": \"hill\", \
+         \"off\": %s, \"on\": %s, \"evals_per_sec_speedup\": %.2f, \
+         \"identical_outcome\": %b}%s\n"
+        bench.Corpus.bname profile.Toolchain.Flags.profile_name (side off)
+        (side on) speedup identical
+        (if i = List.length incr_cases - 1 then "" else ","))
+    incr_cases;
+  out "  ],\n";
+  out "  \"hill_incremental_speedup_min\": %.2f\n" speedup_min;
   out "}\n";
   close_out oc;
-  printf "  wrote BENCH_search.json (%d runs)\n" (List.length runs)
+  printf "  wrote BENCH_search.json (%d runs, %d incremental ablations)\n"
+    (List.length runs) (List.length incr_cases)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-objective tuning (paper §7 future work: NCD and speed)        *)
@@ -1207,6 +1327,64 @@ let ncd_bench () =
     "  size cache over a %dx%d ncd matrix run twice: %d hits / %d lookups (%.0f%% hit rate, %d entries)\n"
     (Array.length arr) (Array.length arr) hits lookups (100.0 *. hit_rate)
     (Compress.Sizecache.length cache);
+  (* NCD early-exit: one batch of candidates against a fixed baseline,
+     scored exhaustively and then with the incumbent-armed bound
+     (C(x·y) >= max(C(x),C(y))).  The incumbent sits just under the
+     batch's true maximum, so the winner still runs to completion (and
+     the argmax is preserved) while everything else may abort its pair
+     compression — the shape of a late-search tuner batch.  Fresh caches
+     per sweep: a warm cache would hide the compression being skipped. *)
+  let baseline_stream, candidates =
+    match streams with
+    | b :: rest -> (b, Array.of_list rest)
+    | [] -> ("", [||])
+  in
+  let exact =
+    Compress.Ncd.against
+      ~cache:(Compress.Sizecache.create ())
+      ~baseline:baseline_stream candidates
+  in
+  let exact_max = Array.fold_left max neg_infinity exact in
+  let incumbent = exact_max *. 0.999 in
+  let measure_against ?incumbent () =
+    let sweep () =
+      Compress.Ncd.against
+        ~cache:(Compress.Sizecache.create ())
+        ?incumbent ~baseline:baseline_stream candidates
+    in
+    ignore (sweep () : float array);
+    let t0 = Unix.gettimeofday () in
+    let reps = ref 0 in
+    while Unix.gettimeofday () -. t0 < min_time do
+      ignore (sweep () : float array);
+      incr reps
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    float_of_int (Array.length candidates * !reps) /. dt
+  in
+  let exhaustive_cps = measure_against () in
+  let bounded_cps = measure_against ~incumbent () in
+  let ee_speedup = bounded_cps /. exhaustive_cps in
+  let bounded =
+    Compress.Ncd.against
+      ~cache:(Compress.Sizecache.create ())
+      ~incumbent ~baseline:baseline_stream candidates
+  in
+  let argmax a =
+    let b = ref 0 in
+    Array.iteri (fun i v -> if v > a.(!b) then b := i) a;
+    !b
+  in
+  let argmax_preserved =
+    Array.length candidates = 0
+    || (argmax bounded = argmax exact
+       && Array.fold_left max neg_infinity bounded = exact_max)
+  in
+  printf
+    "  ncd early-exit vs exhaustive on %d candidates: %.1f -> %.1f cand/s \
+     (%.2fx), argmax preserved %b\n"
+    (Array.length candidates) exhaustive_cps bounded_cps ee_speedup
+    argmax_preserved;
   let oc = open_out "BENCH_ncd.json" in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -1222,8 +1400,14 @@ let ncd_bench () =
   out "  ],\n";
   out "  \"chained_default_vs_greedy_speedup\": %.2f,\n" speedup;
   out
-    "  \"size_cache\": {\"cold_misses\": %d, \"hits\": %d, \"lookups\": %d, \"hit_rate\": %.4f}\n"
+    "  \"size_cache\": {\"cold_misses\": %d, \"hits\": %d, \"lookups\": %d, \"hit_rate\": %.4f},\n"
     cold_misses hits lookups hit_rate;
+  out
+    "  \"early_exit\": {\"candidates\": %d, \"exhaustive_cands_per_sec\": %.2f, \
+     \"bounded_cands_per_sec\": %.2f, \"speedup\": %.2f, \
+     \"argmax_preserved\": %b}\n"
+    (Array.length candidates) exhaustive_cps bounded_cps ee_speedup
+    argmax_preserved;
   out "}\n";
   close_out oc;
   printf "  wrote BENCH_ncd.json\n"

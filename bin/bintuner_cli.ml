@@ -146,8 +146,27 @@ let tune_cmd =
                "Print an aggregated telemetry summary after tuning, including \
                 the compile/NCD/BinHunt cost split.")
   in
+  let incremental =
+    Arg.(value & opt bool true
+         & info [ "incremental" ]
+             ~doc:
+               "Share a pass-prefix snapshot store across the run's \
+                compiles, resuming each candidate from the longest \
+                pipeline prefix already compiled.  Lossless — results \
+                are identical on or off; only wall-clock changes.")
+  in
+  let ncd_bound =
+    Arg.(value & flag
+         & info [ "ncd-bound" ]
+             ~doc:
+               "Arm the NCD early-exit: stop compressing candidates that \
+                provably cannot beat the batch's incumbent fitness.  \
+                Preserves every batch's argmax but clamps sub-incumbent \
+                scores, so full-run trajectories of score-consuming \
+                strategies may differ from exhaustive evaluation.")
+  in
   let run bench source profile arch lz_level iterations strategy jobs db trace
-      prof =
+      prof incremental ncd_bound =
     Compress.Lz.set_default_level lz_level;
     let _, b = load_program ~bench ~source in
     let p = profile_of profile in
@@ -164,7 +183,8 @@ let tune_cmd =
     let r =
       Parallel.Pool.with_pool j (fun pool ->
           Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination
-            ~strategy:(Search.of_name strategy) ~pool ~profile:p b)
+            ~strategy:(Search.of_name strategy) ~pool ~incremental ~ncd_bound
+            ~profile:p b)
     in
     Printf.printf
       "tuned %s with %s [%s]: %d iterations, fitness NCD %.3f, functional %b\n"
@@ -172,6 +192,11 @@ let tune_cmd =
       r.functional_ok;
     Printf.printf "compile memo: %d of %d compile requests served from cache (-j %d)\n"
       r.cache_hits (r.cache_hits + r.compilations) j;
+    if incremental then
+      Printf.printf
+        "prefix cache: %d of %d snapshot lookups hit (compiles resume \
+         mid-pipeline)\n"
+        r.incr_hits (r.incr_hits + r.incr_misses);
     List.iter (fun (n, v) -> Printf.printf "  %-3s fitness %.3f\n" n v) r.preset_ncd;
     Printf.printf "flags: %s\n"
       (String.concat " " (Bintuner.Tuner.flags_enabled p r.best_vector));
@@ -188,7 +213,8 @@ let tune_cmd =
   in
   Cmd.v (Cmd.info "tune" ~doc:"Run BinTuner's iterative compilation on a benchmark.")
     Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg
-          $ lz_level_arg $ iterations $ strategy_arg $ jobs $ db $ trace $ prof)
+          $ lz_level_arg $ iterations $ strategy_arg $ jobs $ db $ trace $ prof
+          $ incremental $ ncd_bound)
 
 let diff_cmd =
   let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in

@@ -22,6 +22,8 @@ type result = {
   compilations : int;
   ncd_cache_hits : int;
   ncd_cache_misses : int;
+  incr_hits : int;
+  incr_misses : int;
   database : entry list;
 }
 
@@ -57,8 +59,8 @@ let functional_check bench bin0 bin =
 
 let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
     ?(termination = Search.default_termination) ?(seed = 1) ?strategy ?pool
-    ?(memoize = true) ~(profile : Toolchain.Flags.profile)
-    (bench : Corpus.benchmark) =
+    ?(memoize = true) ?(incremental = true) ?(ncd_bound = false)
+    ~(profile : Toolchain.Flags.profile) (bench : Corpus.benchmark) =
   let t0 = Unix.gettimeofday () in
   let strategy =
     match strategy with
@@ -78,7 +80,13 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
   @@ fun () ->
   let rng = Util.Rng.create (seed + Hashtbl.hash (bench.Corpus.bname, profile.profile_name)) in
   let ast = Corpus.program bench in
-  let baseline = Toolchain.Pipeline.compile_preset profile ~arch "O0" ast in
+  (* the pass-prefix snapshot store: every compile of this run — across
+     all worker domains — reads and writes one LRU of post-step IR
+     snapshots, so single-flag neighbours resume mid-pipeline instead of
+     recompiling from source.  Lossless, hence safe to default on. *)
+  let prefix = if incremental then Some (Incremental.create ()) else None in
+  let snapshot = Option.map Incremental.snapshot_store prefix in
+  let baseline = Toolchain.Pipeline.compile_preset profile ~arch ?snapshot "O0" ast in
   let baseline_stream = code_stream baseline in
   (* every C(x) / C(x·baseline) term of this run goes through one
      content-addressed cache: the baseline's solo size is compressed
@@ -91,8 +99,12 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
       ~key:(Memo.key ~profile:profile.profile_name ~arch vector)
       (fun () ->
         Telemetry.with_span "tuner.compile" (fun () ->
-            Toolchain.Pipeline.compile_flags profile ~arch vector ast))
+            Toolchain.Pipeline.compile_flags profile ~arch ?snapshot vector ast))
   in
+  (* Pinned by the engine before each batch (never mid-batch), so the
+     early-exit cap every worker prunes against is a pure function of
+     the sequential search state. *)
+  let incumbent = ref neg_infinity in
   (* One generation's worth of candidates at a time: compile + NCD run in
      parallel across the pool (each is a pure function of its vector),
      then the iteration database is appended sequentially in input order
@@ -106,8 +118,9 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
         vectors
     in
     let ncds =
-      Compress.Ncd.against ~pool ~span:"tuner.ncd" ~cache:ncd_cache
-        ~baseline:baseline_stream streams
+      Compress.Ncd.against ~pool ~span:"tuner.ncd"
+        ?incumbent:(if ncd_bound then Some !incumbent else None)
+        ~cache:ncd_cache ~baseline:baseline_stream streams
     in
     Array.iteri
       (fun i v ->
@@ -129,7 +142,9 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
         repair = Toolchain.Constraints.repair profile rng;
       }
     in
-    Search.run ~batch_fitness ~rng ~termination ~problem ~fitness strategy
+    Search.run ~batch_fitness
+      ~notify_incumbent:(fun f -> incumbent := f)
+      ~rng ~termination ~problem ~fitness strategy
   in
   (* Final selection: the GA typically ends with a set of near-tied best
      fitness values ("multiple different versions that all reveal the
@@ -204,7 +219,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
   let preset_ncd =
     Parallel.Pool.map_list ~chunk_size:1 pool
       (fun name ->
-        let bin = Toolchain.Pipeline.compile_preset profile ~arch name ast in
+        let bin = Toolchain.Pipeline.compile_preset profile ~arch ?snapshot name ast in
         (name, Compress.Ncd.distance_via ncd_cache (code_stream bin) baseline_stream))
       [ "O0"; "O1"; "O2"; "O3"; "Os" ]
   in
@@ -229,5 +244,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
     compilations = Memo.misses memo;
     ncd_cache_hits = Compress.Sizecache.hits ncd_cache;
     ncd_cache_misses = Compress.Sizecache.misses ncd_cache;
+    incr_hits = (match prefix with Some p -> Incremental.hits p | None -> 0);
+    incr_misses = (match prefix with Some p -> Incremental.misses p | None -> 0);
     database = List.rev !database;
   }

@@ -50,6 +50,12 @@ type result = {
           these two counters are observational and deliberately excluded
           from the determinism sentinel and the j-differential. *)
   ncd_cache_misses : int;  (** size lookups that actually compressed *)
+  incr_hits : int;
+      (** pass-prefix snapshot lookups served by the run's
+          {!Incremental} store (0 with [~incremental:false]).  Like the
+          size-cache counters, the hit/miss split under racing workers
+          is observational only — results never depend on it. *)
+  incr_misses : int;  (** prefix lookups that found no snapshot *)
   database : entry list;  (** every (vector, fitness) evaluated *)
 }
 
@@ -78,6 +84,8 @@ val tune :
   ?strategy:Search.strategy ->
   ?pool:Parallel.Pool.t ->
   ?memoize:bool ->
+  ?incremental:bool ->
+  ?ncd_bound:bool ->
   profile:Toolchain.Flags.profile ->
   Corpus.benchmark ->
   result
@@ -94,7 +102,24 @@ val tune :
     [params]; [params] is ignored when an explicit strategy is given —
     build it with {!Search.Genetic.strategy} to parameterize the GA).
     When [pool] is omitted the tuner creates a size-1 pool and shuts it
-    down on every exit, normal or exceptional. *)
+    down on every exit, normal or exceptional.
+
+    [incremental] (default on) shares one {!Incremental} pass-prefix
+    snapshot store across every compile of the run, so candidates
+    resume compilation from the longest pipeline prefix an earlier
+    candidate already produced.  Lossless: results are bit-identical
+    with it on or off (the differential oracle pins this); only
+    [incr_hits]/[incr_misses] and wall-clock change.
+
+    [ncd_bound] (default OFF) arms the NCD early-exit: each batch is
+    scored against the search's pre-batch best, and candidates that
+    provably cannot beat it return a clamped score without finishing
+    their pair compression.  Argmax/best per batch — and therefore
+    [best_vector]/[best_ncd] trajectories driven only by strict
+    improvement — are preserved exactly, but sub-incumbent score values
+    are not, which perturbs strategies that consume loser scores (GA
+    tournaments, annealing acceptance) and the recorded [database].
+    Leave off where bit-reproducibility of full runs matters. *)
 
 val flags_enabled : Toolchain.Flags.profile -> bool array -> string list
 (** Names of the flags a vector enables. *)

@@ -32,6 +32,7 @@ val distance_via : Sizecache.t -> string -> string -> float
 val against :
   ?pool:Parallel.Pool.t ->
   ?span:string ->
+  ?incumbent:float ->
   cache:Sizecache.t ->
   baseline:string ->
   string array ->
@@ -40,7 +41,18 @@ val against :
     every [x], in input order.  The baseline's solo size is warmed before
     the fan-out.  [pool] parallelizes across workers (results are order-
     and scheduling-independent); [span] wraps each element's computation
-    in a telemetry span of that name. *)
+    in a telemetry span of that name.
+
+    [incumbent] arms the early-exit scorer: a candidate that provably
+    cannot score above the incumbent may stop compressing its pair term
+    early and comes back with a score that is [>= its exact NCD] and
+    [<= incumbent] (never cached); every candidate whose exact NCD
+    exceeds the incumbent is scored exactly, so the batch's argmax and
+    max against the incumbent equal exhaustive evaluation's.  Omitted
+    (or [neg_infinity]): exhaustive, byte-identical to the plain path.
+    Pruned scores are not exact — keep this off anywhere sub-incumbent
+    score {e values} feed decisions (Metropolis acceptance, tournament
+    selection, frozen sentinels). *)
 
 val matrix :
   ?pool:Parallel.Pool.t -> cache:Sizecache.t -> string array -> float array array

@@ -90,6 +90,46 @@ let find_or_compute t key compute =
     Mutex.unlock t.lock;
     v
 
+(* Probe-only / insert-only entry points for the NCD early-exit path:
+   a pruned pair compression yields only an upper bound, which must
+   never be inserted as if it were the exact size — so the caller
+   probes first, computes (possibly aborting) outside the lock, and
+   inserts only exact results. *)
+let peek t key =
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    unlink n;
+    push_front t n;
+    let v = n.value in
+    Mutex.unlock t.lock;
+    Telemetry.add_count "sizecache.hit";
+    Some v
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.lock;
+    Telemetry.add_count "sizecache.miss";
+    None
+
+let insert t key v =
+  Mutex.lock t.lock;
+  if not (Hashtbl.mem t.table key) then begin
+    let n = { key; value = v; ring_prev = t.sentinel; ring_next = t.sentinel } in
+    push_front t n;
+    Hashtbl.replace t.table key n;
+    if Hashtbl.length t.table > t.capacity then begin
+      let victim = t.sentinel.ring_prev in
+      unlink victim;
+      Hashtbl.remove t.table victim.key
+    end
+  end;
+  Mutex.unlock t.lock
+
+let peek_pair t x y = peek t (pair_key x y)
+
+let insert_pair t x y v = insert t (pair_key x y) v
+
 let size t x =
   find_or_compute t (solo_key x) (fun () ->
       Lz.compressed_size ~level:t.level x)

@@ -40,6 +40,18 @@ val size_pair : t -> string -> string -> int
     memoized — the [C(x·y)] term.  The pair key is ordered: [x·y] and
     [y·x] are distinct streams with distinct sizes. *)
 
+val peek_pair : t -> string -> string -> int option
+(** Probe the pair entry without computing on a miss (counts a hit or a
+    miss like {!size_pair}).  The NCD early-exit path probes first so a
+    warm exact size short-circuits the capped compression. *)
+
+val insert_pair : t -> string -> string -> int -> unit
+(** Publish an exact pair size computed outside the cache (keep-first on
+    a racing duplicate; evicts like any other insert; counts nothing).
+    Only ever insert values equal to
+    [Lz.compressed_size_pair ~level:(level t) x y] — upper bounds from a
+    pruned compression must not enter the table. *)
+
 val hits : t -> int
 (** Lookups served from the table. *)
 

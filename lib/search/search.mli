@@ -81,6 +81,7 @@ val of_name : string -> strategy
 
 val run :
   ?batch_fitness:(bool array array -> float array) ->
+  ?notify_incumbent:(float -> unit) ->
   rng:Util.Rng.t ->
   termination:termination ->
   problem:problem ->
@@ -98,7 +99,12 @@ val run :
     inputs alone — independent of how a batch hook schedules its work.
     The budget is enforced at batch granularity: a batch is truncated,
     never overrun.  The seed batch is evaluated unconditionally; every
-    later batch is gated on the budget and the plateau window. *)
+    later batch is gated on the budget and the plateau window.
+    [notify_incumbent] is called with the best fitness so far
+    immediately before each batch is scored (so [neg_infinity] before
+    the seed batch) — the hook through which a batch evaluator learns
+    the score a candidate must beat (NCD early-exit); the value is
+    pinned per batch, keeping pruning decisions scheduling-independent. *)
 
 (** The generational GA (tournament selection, biased uniform crossover,
     forced-minimum mutation, elitism); bit-identical to the

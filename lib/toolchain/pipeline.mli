@@ -2,7 +2,20 @@
 
     This is BinTuner's "Compiler Interface" (§4.1): it glues the frontend,
     the flag-gated pass pipeline and the code generator, and is what the
-    genetic algorithm invokes once per individual per generation. *)
+    genetic algorithm invokes once per individual per generation.
+
+    The pipeline is an explicit step list — AST passes, lowering, each
+    enabled IR pass over all functions, the program-level function
+    reorder — and every step boundary can be snapshotted into an injected
+    {!snapshot_store}.  Snapshots are keyed by a hash chain seeded with
+    (program digest, profile, arch) and extended with one parameterized
+    step key per step, so a later compile whose resolved configuration
+    shares a step prefix resumes from the longest prefix the store still
+    holds instead of recompiling from scratch.  The store is a plain
+    record of closures: the pipeline stays agnostic of the cache policy
+    (see [Bintuner.Incremental] for the LRU implementation the tuner
+    injects).  Snapshotting is lossless — a compile through a store, warm
+    or cold, emits the same bytes as a from-scratch compile. *)
 
 val verify_default : bool ref
 (** When true, every compile runs the IR verifier after lowering and after
@@ -18,29 +31,63 @@ val test_break : (string * (Vir.Ir.func -> unit)) option ref
     function right after [pass] runs on it, so tests can plant a
     miscompile and assert the verifier attributes it to [pass]. *)
 
+type snapshot_store = {
+  find : string -> string option;
+      (** Look a prefix key up; [None] on a cold or evicted key.  Must be
+          safe to call from any worker domain. *)
+  store : string -> string -> unit;
+      (** Publish the snapshot for a key.  Values are deterministic per
+          key, so keep-first semantics under racing writers are exact. *)
+}
+(** The incremental-compilation seam: how the pipeline reads and writes
+    stage snapshots without depending on any cache implementation. *)
+
+val cache_seed : profile:string -> arch:Isa.Insn.arch -> Minic.Ast.program -> string
+(** The key-chain seed for one (program, profile, arch) context.  Two
+    contexts differing in any component get disjoint key spaces — the
+    guard against the cross-profile/cross-arch staleness hazard, pinned
+    by the regression tests. *)
+
 val apply_passes :
-  ?verify:bool -> ?where:string -> Config.t -> Minic.Ast.program ->
+  ?verify:bool ->
+  ?where:string ->
+  ?snapshot:snapshot_store ->
+  ?cache_seed:string ->
+  Config.t ->
+  Minic.Ast.program ->
   Vir.Ir.program
 (** Run the AST passes, lowering, and IR passes dictated by the
     configuration and return the optimized IR (exposed for tests).
     [verify] defaults to [!verify_default]; [where] is appended to
-    verification-failure messages. *)
+    verification-failure messages.  With [snapshot], stage snapshots are
+    read and written through the store, chained from [cache_seed]
+    (default: a digest of the program alone — pass {!cache_seed}'s result
+    to share the store with {!compile}).  A restored IR stage is verified
+    before any further pass runs when verification is on. *)
 
 val compile :
   ?config:Config.t ->
   ?verify:bool ->
   ?flag_desc:string ->
+  ?snapshot:snapshot_store ->
   arch:Isa.Insn.arch ->
   profile:string ->
   opt_label:string ->
   Minic.Ast.program ->
   Isa.Binary.t
 (** Compile a checked program (see {!Minic.Sema.analyze}).  The default
-    configuration is {!Config.o0}. *)
+    configuration is {!Config.o0}.  With [snapshot], the compile resumes
+    from the longest cached step prefix, and the emitted binary itself is
+    cached under a final key extending the IR chain with the codegen
+    options and labels — a full hit skips the pipeline entirely.  When
+    verification is on the binary-level entry is bypassed (the verifier
+    must see IR), but verified IR-stage snapshots still shorten the
+    pipeline. *)
 
 val compile_flags :
   Flags.profile ->
   ?arch:Isa.Insn.arch ->
+  ?snapshot:snapshot_store ->
   bool array ->
   Minic.Ast.program ->
   Isa.Binary.t
@@ -50,6 +97,7 @@ val compile_flags :
 val compile_preset :
   Flags.profile ->
   ?arch:Isa.Insn.arch ->
+  ?snapshot:snapshot_store ->
   string ->
   Minic.Ast.program ->
   Isa.Binary.t

@@ -195,9 +195,93 @@ let test_tuner_reports_sizecache_traffic () =
   Alcotest.(check bool) "ncd cache saw hits" true (r.ncd_cache_hits > 0);
   Alcotest.(check bool) "ncd cache saw misses" true (r.ncd_cache_misses > 0)
 
+(* --- the pass-prefix snapshot store --- *)
+
+(* Raw store semantics and the counter conservation invariant:
+   every lookup is exactly one hit or one miss, duplicates keep the
+   first value, and an entry larger than the whole budget is refused. *)
+let test_incremental_counters () =
+  let module I = Bintuner.Incremental in
+  let t = I.create ~max_bytes:4096 () in
+  Alcotest.(check (pair int int)) "fresh" (0, 0) (I.hits t, I.misses t);
+  Alcotest.(check int) "fresh lookups" 0 (I.lookups t);
+  Alcotest.(check (option string)) "cold miss" None (I.find t "k1");
+  I.store t "k1" "v1";
+  Alcotest.(check (option string)) "warm hit" (Some "v1") (I.find t "k1");
+  I.store t "k1" "v2";
+  Alcotest.(check (option string)) "keep-first" (Some "v1") (I.find t "k1");
+  I.store t "big" (String.make 8192 'x');
+  Alcotest.(check (option string)) "oversized refused" None (I.find t "big");
+  Alcotest.(check int) "lookups = hits + misses"
+    (I.hits t + I.misses t) (I.lookups t);
+  Alcotest.(check bool) "bytes within budget" true
+    (I.bytes t <= I.max_bytes t)
+
+(* Eviction pressure changes counters, never results: a store far too
+   small to hold every snapshot of even one compile keeps evicting
+   mid-compile, yet every binary equals the scratch compile. *)
+let test_incremental_eviction_only_results_intact () =
+  let bench = Corpus.find "429.mcf" in
+  let prog = Corpus.program bench in
+  let profile = Toolchain.Flags.gcc in
+  let store = Bintuner.Incremental.create ~max_bytes:(32 * 1024) () in
+  let snapshot = Bintuner.Incremental.snapshot_store store in
+  List.iter
+    (fun preset ->
+      let scratch = Toolchain.Pipeline.compile_preset profile preset prog in
+      let cached =
+        Toolchain.Pipeline.compile_preset profile ~snapshot preset prog
+      in
+      Alcotest.(check bool)
+        (preset ^ ": thrashing store still bit-identical")
+        true (cached = scratch))
+    [ "O0"; "O1"; "O2"; "O3"; "Os"; "O2"; "O3" ];
+  Alcotest.(check bool) "eviction actually happened" true
+    (Bintuner.Incremental.evictions store > 0);
+  Alcotest.(check bool) "stayed within budget" true
+    (Bintuner.Incremental.bytes store <= Bintuner.Incremental.max_bytes store);
+  Alcotest.(check int) "conservation under eviction"
+    (Bintuner.Incremental.hits store + Bintuner.Incremental.misses store)
+    (Bintuner.Incremental.lookups store)
+
+(* Concurrent tuning through one shared prefix store: -j 2 must equal
+   -j 1 bit-for-bit (racing workers publish and resume snapshots in
+   nondeterministic order; only counters may differ). *)
+let test_tune_incremental_j_independent () =
+  List.iter
+    (fun (name, profile) ->
+      let bench = Corpus.find name in
+      let run j =
+        Parallel.Pool.with_pool j (fun pool ->
+            Bintuner.Tuner.tune ~termination:term_small ~pool ~incremental:true
+              ~profile bench)
+      in
+      let r1 = run 1 and r2 = run 2 in
+      let label = name ^ "/" ^ profile.Toolchain.Flags.profile_name ^ " j1=j2" in
+      Alcotest.(check (list bool))
+        (label ^ ": best_vector") (Array.to_list r1.best_vector)
+        (Array.to_list r2.best_vector);
+      Alcotest.(check (float 0.0)) (label ^ ": best_ncd") r1.best_ncd r2.best_ncd;
+      Alcotest.(check int) (label ^ ": iterations") r1.iterations r2.iterations;
+      Alcotest.(check (list (pair int (float 0.0))))
+        (label ^ ": history") r1.history r2.history;
+      Alcotest.(check bool)
+        (label ^ ": refined binaries bit-identical") true
+        (r1.refined_binary = r2.refined_binary);
+      (* both runs really exercised the store *)
+      Alcotest.(check bool) (label ^ ": j1 store hit") true (r1.incr_hits > 0);
+      Alcotest.(check bool) (label ^ ": j2 store hit") true (r2.incr_hits > 0))
+    [ ("462.libquantum", Toolchain.Flags.llvm) ]
+
 let tests =
   [
     Alcotest.test_case "memo on/off differential" `Slow test_memo_on_off_equal;
+    Alcotest.test_case "incremental store counters" `Quick
+      test_incremental_counters;
+    Alcotest.test_case "incremental eviction only counters" `Slow
+      test_incremental_eviction_only_results_intact;
+    Alcotest.test_case "tune incremental j-independent" `Slow
+      test_tune_incremental_j_independent;
     QCheck_alcotest.to_alcotest prop_memo_matches_fresh_compile;
     QCheck_alcotest.to_alcotest prop_database_lookup_matches_fresh;
     Alcotest.test_case "sizecache ncd exact on corpus" `Slow

@@ -159,10 +159,48 @@ let test_fuzz_all_arches () =
           Isa.Insn.all_arches)
     [ 2026; 7777; 31415 ]
 
+(* Incremental-vs-scratch on fuzzed programs, under the IR verifier: two
+   random flag vectors of the same profile compile through one shared
+   snapshot store — the second typically resumes from a prefix the first
+   published, and [with_verifier] makes the pipeline verify every
+   resumed stage before trusting it.  Both binaries must equal their
+   scratch compiles, and both must behave like the -O0 reference. *)
+let prop_fuzz_incremental_vs_scratch =
+  QCheck.Test.make ~name:"fuzzed incremental compiles equal scratch" ~count:15
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, vseed) ->
+      with_verifier @@ fun () ->
+      let prog = Fuzzgen.generate (seed + 4000) in
+      let ir = Vir.Lower.lower_program prog in
+      match List.map (behaviour_ir ir) inputs with
+      | exception Vir.Interp.Out_of_fuel -> true
+      | reference ->
+        let profile =
+          if vseed mod 2 = 0 then Toolchain.Flags.gcc else Toolchain.Flags.llvm
+        in
+        let rng = Util.Rng.create ((vseed * 29) + 11) in
+        let n = Array.length profile.Toolchain.Flags.flags in
+        let vector () =
+          Toolchain.Constraints.repair profile rng
+            (Array.init n (fun _ -> Util.Rng.bool rng))
+        in
+        let v1 = vector () and v2 = vector () in
+        let store = Bintuner.Incremental.create () in
+        let snapshot = Bintuner.Incremental.snapshot_store store in
+        List.for_all
+          (fun v ->
+            let scratch = Toolchain.Pipeline.compile_flags profile v prog in
+            let inc =
+              Toolchain.Pipeline.compile_flags profile ~snapshot v prog
+            in
+            inc = scratch && List.map (behaviour_vm inc) inputs = reference)
+          [ v1; v2; v1 ])
+
 let tests =
   [
     Alcotest.test_case "fuzz presets" `Slow test_fuzz_presets;
     QCheck_alcotest.to_alcotest prop_fuzz_random_flags;
+    QCheck_alcotest.to_alcotest prop_fuzz_incremental_vs_scratch;
     Alcotest.test_case "fuzz parallel oracle" `Slow test_fuzz_parallel_oracle;
     Alcotest.test_case "fuzz all arches" `Quick test_fuzz_all_arches;
   ]

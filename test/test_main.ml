@@ -17,6 +17,7 @@ let () =
       ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);
       ("fuzz", Test_fuzz.tests);
+      ("incremental", Frozen_incremental.tests);
       ("flags", Test_flags.tests);
       ("vm", Test_vm.tests);
       ("obf", Test_obf.tests);

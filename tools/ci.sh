@@ -6,7 +6,9 @@
 #   2. `make bench-smoke`  — scaled-down Table 1 through the parallel engine;
 #   3. determinism cross-check — the table1 sentinel (an MD5 over every run's
 #      best vector, NCD, iteration count, memo counters and history) must be
-#      byte-identical at -j 1 and -j 2, and the memo must report cache hits;
+#      byte-identical at -j 1 and -j 2, the memo must report cache hits, and
+#      the pass-prefix snapshot store (incremental compilation, default on —
+#      so every sentinel here is computed WITH it) must report hits;
 #   4. frozen-oracle sentinel — the same table1 run at -lz-level greedy
 #      (the pre-overhaul match finder, kept bit-for-bit stable) must
 #      reproduce the sentinel recorded before the NCD kernel overhaul;
@@ -17,7 +19,8 @@
 #      and reproduces the same sentinel; the fig5 NCD batch must report
 #      size-cache hits;
 #   6. ncd microbench smoke — the `ncd` experiment must emit a parseable
-#      BENCH_ncd.json whose chained-vs-greedy throughput speedup is > 1;
+#      BENCH_ncd.json whose chained-vs-greedy throughput speedup is > 1
+#      and whose NCD early-exit batch preserves the exhaustive argmax;
 #   7. static-analysis gate — the IR verifier must accept every pass of a
 #      corpus-wide compile sweep (presets × profiles × archs × random
 #      valid flag vectors), the pedantic lint must report nothing beyond
@@ -30,7 +33,11 @@
 #      is already pinned to the frozen greedy sentinel by step 4;
 #   9. search microbench smoke — the `search` experiment must emit a
 #      parseable BENCH_search.json covering all five strategies, each
-#      within the declared budget.
+#      within the declared budget with positive evals/sec, and the hill
+#      incremental-compilation ablation must report outcomes identical
+#      with the prefix store on, real snapshot hits, and an evals/sec
+#      speedup above 1 (the incremental-differential gate; the committed
+#      full-budget artifact records the >= 1.5x speedup).
 #
 # Exits non-zero on any failure.
 
@@ -58,6 +65,13 @@ sentinel_j2=$(grep 'table1 determinism sentinel:' "$smoke_log" | awk '{print $NF
 
 memo_hits=$(grep '^compile memo:' "$smoke_log" | awk '{print $3}')
 [ "${memo_hits:-0}" -ge 1 ] || { echo "ci: FAIL — compile memo reported no cache hits" >&2; exit 1; }
+
+# the tuner's pass-prefix snapshot store defaults on, so the sentinel
+# above (and the frozen greedy sentinel below) are computed WITH
+# incremental compilation — any drift would mean the store is not
+# lossless.  The store must also have seen real traffic.
+incr_hits=$(grep '^prefix cache:' "$smoke_log" | awk '{print $3}')
+[ "${incr_hits:-0}" -ge 1 ] || { echo "ci: FAIL — prefix snapshot store reported no hits" >&2; exit 1; }
 
 echo "== ci: determinism sentinel cross-check (-j 1 vs -j 2) =="
 sentinel_j1=$(dune exec bench/main.exe -- -quick -j 1 table1 \
@@ -142,7 +156,10 @@ trap 'rm -f "$smoke_log" "$trace_file" "$profile_log"; rm -rf "$ncd_dir"' EXIT
   || { echo "ci: FAIL — ncd microbench wrote no BENCH_ncd.json" >&2; exit 1; }
 if command -v jq >/dev/null 2>&1; then
   jq -e '(.streams >= 1) and (.total_bytes > 0) and ((.levels | length) >= 2)
-         and (.chained_default_vs_greedy_speedup > 1.0) and (.size_cache.hits > 0)' \
+         and (.chained_default_vs_greedy_speedup > 1.0) and (.size_cache.hits > 0)
+         and (.early_exit.candidates >= 1)
+         and (.early_exit.bounded_cands_per_sec > 0)
+         and (.early_exit.argmax_preserved == true)' \
     "$ncd_dir/BENCH_ncd.json" >/dev/null \
     || { echo "ci: FAIL — BENCH_ncd.json failed validation" >&2; exit 1; }
 else
@@ -153,6 +170,9 @@ assert d["streams"] >= 1 and d["total_bytes"] > 0
 assert len(d["levels"]) >= 2
 assert d["chained_default_vs_greedy_speedup"] > 1.0, d
 assert d["size_cache"]["hits"] > 0
+assert d["early_exit"]["candidates"] >= 1
+assert d["early_exit"]["bounded_cands_per_sec"] > 0
+assert d["early_exit"]["argmax_preserved"] is True, d["early_exit"]
 ' "$ncd_dir/BENCH_ncd.json" \
     || { echo "ci: FAIL — BENCH_ncd.json failed validation" >&2; exit 1; }
 fi
@@ -193,7 +213,12 @@ trap 'rm -f "$smoke_log" "$trace_file" "$profile_log"; rm -rf "$ncd_dir" "$searc
 if command -v jq >/dev/null 2>&1; then
   jq -e '(.budget > 0) and ((.runs | length) >= 5)
          and ([.runs[].strategy] | unique | length >= 5)
-         and ([.runs[] | select(.evaluations < 1 or .evaluations > $b)] | length == 0)' \
+         and ([.runs[] | select(.evaluations < 1 or .evaluations > $b)] | length == 0)
+         and ([.runs[] | select(.evals_per_sec <= 0)] | length == 0)
+         and ((.incremental | length) >= 1)
+         and ([.incremental[] | select(.identical_outcome != true)] | length == 0)
+         and ([.incremental[] | select(.evals_per_sec_speedup <= 1.0)] | length == 0)
+         and ([.incremental[] | select(.on.incr_hits < 1)] | length == 0)' \
     --argjson b "$(jq .budget "$search_dir/BENCH_search.json")" \
     "$search_dir/BENCH_search.json" >/dev/null \
     || { echo "ci: FAIL — BENCH_search.json failed validation" >&2; exit 1; }
@@ -206,6 +231,12 @@ assert len(d["runs"]) >= 5
 assert len({r["strategy"] for r in d["runs"]}) >= 5
 for r in d["runs"]:
     assert 1 <= r["evaluations"] <= d["budget"], r
+    assert r["evals_per_sec"] > 0, r
+assert len(d["incremental"]) >= 1
+for c in d["incremental"]:
+    assert c["identical_outcome"] is True, c
+    assert c["evals_per_sec_speedup"] > 1.0, c
+    assert c["on"]["incr_hits"] >= 1, c
 ' "$search_dir/BENCH_search.json" \
     || { echo "ci: FAIL — BENCH_search.json failed validation" >&2; exit 1; }
 fi
