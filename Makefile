@@ -5,10 +5,13 @@
 #   make verify-ir    IR-verified compile of the whole corpus (every preset,
 #                     profile, arch and a few random valid flag vectors) plus
 #                     the pedantic lint against the committed allowlist
+#   make serve-smoke  boot the tuning daemon against a scratch persistent
+#                     store, run two jobs + status over stdin, assert job 2
+#                     is served off disk and no worker domains leak
 #   make ci           what tools/ci.sh runs: check + bench-smoke + the
 #                     determinism-sentinel cross-check over -j values
 
-.PHONY: check bench-smoke verify-ir ci
+.PHONY: check bench-smoke verify-ir serve-smoke ci
 
 check:
 	dune build @all
@@ -34,6 +37,13 @@ bench-smoke:
 verify-ir:
 	dune exec bin/bintuner_cli.exe -- verify
 	dune exec bin/bintuner_cli.exe -- analyze --allowlist tools/lint_allowlist.txt
+
+# The serve daemon end-to-end: stdin transport, scratch artifact store,
+# two identical jobs (the second must be served from disk — the memo is
+# disabled so hits cannot hide in memory), a status request, and a clean
+# quit.  tools/ci.sh runs the same script as its final gate.
+serve-smoke:
+	tools/serve_smoke.sh
 
 ci:
 	tools/ci.sh

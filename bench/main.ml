@@ -1415,6 +1415,105 @@ let ncd_bench () =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
+(* Serving mode: cold vs warm persistent store (BENCH_serve.json)      *)
+(* ------------------------------------------------------------------ *)
+
+(* The serving-mode payoff measured end to end: the same job through a
+   daemon whose persistent artifact store is cold (first ever run) and
+   then through a fresh daemon over the now-populated store directory —
+   the restart proves the warm-up comes from disk, not process memory
+   (the compile memo is capped to one byte so it never shadows the
+   store).  Store traffic is lossless, so outcomes must be identical;
+   only wall-clock and the hit counters may move. *)
+let serve_bench () =
+  print_string
+    (section "Serving mode: tuning wall-clock, cold vs warm artifact store");
+  let budget = !bench_termination.Search.max_evaluations in
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  let benches =
+    let rec take n = function
+      | x :: tl when n > 0 -> x :: take (n - 1) tl
+      | _ -> []
+    in
+    take 2 (eval_set ())
+  in
+  let cases =
+    List.map
+      (fun (bench : Corpus.benchmark) ->
+        let dir = Filename.temp_file "bintuner-serve" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        Fun.protect
+          ~finally:(fun () -> rm_rf dir)
+          (fun () ->
+            let job =
+              Printf.sprintf "tune bench=%s profile=gcc budget=%d"
+                bench.Corpus.bname budget
+            in
+            let run_daemon () =
+              let srv =
+                Bintuner.Server.create
+                  ~jobs:(Parallel.Pool.default_size ())
+                  ~store_dir:dir ~memo_max_bytes:1 ()
+              in
+              Fun.protect
+                ~finally:(fun () -> Bintuner.Server.close srv)
+                (fun () ->
+                  ignore (Bintuner.Server.handle_line srv job);
+                  match Bintuner.Server.completed srv with
+                  | [ j ] -> j
+                  | _ -> failwith ("serve bench: job failed on " ^ bench.bname))
+            in
+            let cold = run_daemon () in
+            let warm = run_daemon () in
+            let identical =
+              cold.Bintuner.Server.best_vector = warm.Bintuner.Server.best_vector
+              && cold.best_ncd = warm.best_ncd
+              && cold.iterations = warm.iterations
+            in
+            let speedup = cold.wall_seconds /. warm.wall_seconds in
+            printf
+              "  %-18s cold %6.2fs -> warm %6.2fs (%.2fx)  store hits \
+               %d/%d  identical=%b\n%!"
+              bench.Corpus.bname cold.wall_seconds warm.wall_seconds speedup
+              warm.store_hits
+              (warm.store_hits + warm.store_misses)
+              identical;
+            (bench, cold, warm, speedup, identical)))
+      benches
+  in
+  let oc = open_out "BENCH_serve.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"budget\": %d,\n" budget;
+  out "  \"cases\": [\n";
+  List.iteri
+    (fun i (bench, cold, warm, speedup, identical) ->
+      let side (j : Bintuner.Server.job_summary) =
+        Printf.sprintf
+          "{\"wall_seconds\": %.3f, \"store_hits\": %d, \"store_misses\": %d, \
+           \"compilations\": %d}"
+          j.Bintuner.Server.wall_seconds j.store_hits j.store_misses
+          j.compilations
+      in
+      out
+        "    {\"benchmark\": %S, \"profile\": \"gcc-10.2\", \"cold\": %s, \
+         \"warm\": %s, \"wall_speedup\": %.2f, \"identical_outcome\": %b}%s\n"
+        bench.Corpus.bname (side cold) (side warm) speedup identical
+        (if i = List.length cases - 1 then "" else ","))
+    cases;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  printf "  wrote BENCH_serve.json (%d cold/warm pairs)\n" (List.length cases)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1432,6 +1531,7 @@ let experiments =
     ("speed", speed);
     ("ncd", ncd_bench);
     ("search", search_bench);
+    ("serve", serve_bench);
     ("ablation", ablation);
     ("multiobj", multiobj);
     ("bechamel", bechamel);

@@ -216,6 +216,87 @@ let tune_cmd =
           $ lz_level_arg $ iterations $ strategy_arg $ jobs $ db $ trace $ prof
           $ incremental $ ncd_bound)
 
+let serve_cmd =
+  let jobs =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ]
+             ~doc:
+               "Worker domains of the shared session pool (0 = the machine's \
+                recommended domain count).  Job results are identical at \
+                every value.")
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ]
+             ~doc:
+               "Serve a Unix domain socket at this path instead of \
+                stdin/stdout.")
+  in
+  let store_dir =
+    Arg.(value & opt (some string) None
+         & info [ "store" ]
+             ~doc:
+               "Root directory of the persistent artifact store (created if \
+                missing).  Compiled binaries and compressed sizes are written \
+                through to it and survive daemon restarts; without it the \
+                daemon shares caches across jobs but persists nothing.")
+  in
+  let store_mb =
+    Arg.(value & opt int 256
+         & info [ "store-max-mb" ]
+             ~doc:"Byte budget of the persistent store, in MiB (LRU-evicted).")
+  in
+  let memo_mb =
+    Arg.(value & opt int 128
+         & info [ "memo-max-mb" ]
+             ~doc:"Byte budget of the shared compile memo, in MiB.")
+  in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ]
+             ~doc:"Stream telemetry events to this file as ndjson (each \
+                   job's spans carry its job id).")
+  in
+  let prof =
+    Arg.(value & flag
+         & info [ "perf-profile" ]
+             ~doc:"Print an aggregated telemetry summary when the daemon \
+                   exits.")
+  in
+  let run jobs socket store_dir store_mb memo_mb trace prof =
+    let j = if jobs <= 0 then Parallel.Pool.default_size () else jobs in
+    let trace_channel = Option.map open_out trace in
+    if trace_channel <> None || prof then
+      Telemetry.set_global
+        (Telemetry.create
+           ?sink:(Option.map (fun oc -> Telemetry.Channel oc) trace_channel)
+           ());
+    let srv =
+      Bintuner.Server.create ~jobs:j ?store_dir
+        ~store_max_bytes:(store_mb * 1024 * 1024)
+        ~memo_max_bytes:(memo_mb * 1024 * 1024) ()
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Bintuner.Server.close srv;
+        if prof then print_string (Telemetry.summary (Telemetry.global ()));
+        Telemetry.flush (Telemetry.global ());
+        Option.iter close_out trace_channel)
+      (fun () ->
+        match socket with
+        | Some path -> Bintuner.Server.serve_unix srv path
+        | None -> Bintuner.Server.serve_channel srv stdin stdout)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the tuning daemon: accept jobs (submit/run/tune/status/quit, \
+          one request per line, JSON responses) over stdin or a Unix socket, \
+          multiplexed onto one shared pool and cache session, optionally \
+          backed by a crash-safe persistent artifact store.")
+    Term.(const run $ jobs $ socket $ store_dir $ store_mb $ memo_mb $ trace
+          $ prof)
+
 let diff_cmd =
   let a = Arg.(value & opt string "O3" & info [ "from" ] ~doc:"First preset.") in
   let b_ = Arg.(value & opt string "O0" & info [ "to" ] ~doc:"Second preset.") in
@@ -457,4 +538,4 @@ let () =
     Cmd.info "bintuner_cli" ~version:"1.0.0"
       ~doc:"Auto-tuning of binary code differences (PLDI'21 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; diff_cmd; ncd_cmd; scan_cmd; verify_cmd; analyze_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; serve_cmd; diff_cmd; ncd_cmd; scan_cmd; verify_cmd; analyze_cmd; list_cmd ]))

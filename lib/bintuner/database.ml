@@ -65,24 +65,62 @@ let unescape_name s =
   done;
   Buffer.contents b
 
-let save path runs =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+(* Fitness values round-trip bit-exactly: %h is OCaml's lossless hex
+   float notation, and [float_of_string] parses it alongside the %.6f
+   decimals older database files carry (those stay what they were — six
+   digits was already all the old writer kept). *)
+let fitness_to_string f = Printf.sprintf "%h" f
+
+let test_write_failure : int option ref = ref None
+(* Test-only crash injection: [Some n] makes [save] raise after emitting
+   [n] lines, simulating a writer dying mid-stream.  The atomic-save
+   regression test uses it to prove a crashed save never harms the
+   existing database file. *)
+
+let emit write runs =
+  List.iter
+    (fun r ->
+      write
+        (Printf.sprintf "run %s %s %s\n" (escape_name r.benchmark)
+           (escape_name r.profile) (escape_name r.arch));
+      write
+        (Printf.sprintf "flags %s\n"
+           (String.concat "," (List.map escape_name r.flag_names)));
+      write (Printf.sprintf "best %s\n" (vector_to_string r.best));
       List.iter
-        (fun r ->
-          Printf.fprintf oc "run %s %s %s\n" (escape_name r.benchmark)
-            (escape_name r.profile) (escape_name r.arch);
-          Printf.fprintf oc "flags %s\n"
-            (String.concat "," (List.map escape_name r.flag_names));
-          Printf.fprintf oc "best %s\n" (vector_to_string r.best);
-          List.iter
-            (fun (v, f) ->
-              Printf.fprintf oc "e %s %.6f\n" (vector_to_string v) f)
-            r.entries;
-          Printf.fprintf oc "end\n")
-        runs)
+        (fun (v, f) ->
+          write
+            (Printf.sprintf "e %s %s\n" (vector_to_string v)
+               (fitness_to_string f)))
+        r.entries;
+      write "end\n")
+    runs
+
+(* Crash-safe: the new contents are written to a sibling temp file and
+   renamed into place only once complete, so a writer dying mid-save (or
+   a full disk) leaves any existing database byte-identical instead of
+   truncated.  rename(2) within one directory is atomic on POSIX. *)
+let save path runs =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  let committed = ref false in
+  let emitted = ref 0 in
+  let write s =
+    (match !test_write_failure with
+    | Some n when !emitted >= n -> failwith "Database: injected write failure"
+    | _ -> ());
+    incr emitted;
+    output_string oc s
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      emit write runs;
+      close_out oc;
+      Sys.rename tmp path;
+      committed := true)
 
 let load path =
   let ic = open_in path in

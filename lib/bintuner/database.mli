@@ -27,10 +27,22 @@ val vector_of_string : string -> bool array
     characters. *)
 
 val save : string -> run list -> unit
-(** Write runs to a file (overwrites). *)
+(** Write runs to a file (overwrites).  Crash-safe: the contents go to a
+    sibling [path ^ ".tmp"] file first and are renamed into place only
+    once complete, so a writer dying mid-save leaves any existing
+    database intact.  Fitness values are serialized losslessly (OCaml's
+    [%h] hex float notation), so a save → load round-trip reproduces
+    every NCD double bit-exactly. *)
 
 val load : string -> run list
-(** Parse a database file.  Raises [Failure] on malformed input. *)
+(** Parse a database file.  Raises [Failure] on malformed input.
+    Accepts both the lossless hex floats current files carry and the
+    fixed-point decimals of files written before the format change. *)
+
+val test_write_failure : int option ref
+(** Test-only crash injection (the {!Toolchain.Pipeline.test_break}
+    idiom): [Some n] makes {!save} raise after emitting [n] lines.  The
+    atomic-save regression test uses it; leave [None] everywhere else. *)
 
 val lookup : run -> bool array -> float option
 (** [lookup r] builds a constant-time fitness index over [r]'s entries

@@ -1,0 +1,87 @@
+(** The serve daemon — tuning as a service.
+
+    A long-running process that accepts tuning jobs over a simple line
+    protocol (one request per line in, one single-line JSON object per
+    response out) and multiplexes them onto one shared {!Session}, so
+    successive jobs over the same corpus hit each other's compiled
+    binaries, compressed sizes and pass-prefix snapshots — and, with a
+    persistent {!Store} attached, so do jobs after a daemon restart.
+
+    Requests: [submit k=v ...] (enqueue), [run] (drain the queue),
+    [tune k=v ...] (submit + run), [status], [quit].  Job parameters:
+    [bench], [profile], [arch], [strategy], [budget] (max evaluations),
+    [lz-level], [seed] — all optional.  Blank lines and [#] comments are
+    ignored; malformed requests get an [{"ok":false,...}] response and
+    never kill the daemon.
+
+    Jobs run sequentially on the daemon thread (parallelism lives inside
+    each job, on the session's pool); every job runs under a
+    [serve.job] telemetry span whose ambient [job] attribute tags the
+    spans it records.  {!handle_line} is the entire protocol, so tests
+    drive a daemon in-process; {!serve_channel} (stdin/stdout, the CI
+    smoke mode) and {!serve_unix} (Unix socket) are thin transports over
+    it. *)
+
+type t
+
+type job_summary = {
+  job_id : int;
+  benchmark : string;
+  profile : string;
+  arch : string;
+  strategy : string;
+  iterations : int;
+  best_ncd : float;
+  best_vector : bool array;
+  functional_ok : bool;
+  wall_seconds : float;
+  cache_hits : int;
+  compilations : int;
+  ncd_cache_hits : int;
+  ncd_cache_misses : int;
+  incr_hits : int;
+  incr_misses : int;
+  store_hits : int;
+  store_misses : int;
+}
+(** One completed job: the {!Tuner.result} essentials plus the per-job
+    cache-counter deltas (see {!Tuner.result} for their meaning). *)
+
+val create :
+  ?jobs:int ->
+  ?store_dir:string ->
+  ?store_max_bytes:int ->
+  ?memo_max_bytes:int ->
+  unit ->
+  t
+(** A fresh daemon.  [jobs] sizes the session's worker pool (default 1).
+    [store_dir] attaches a persistent artifact store rooted there
+    (created if missing, crash leftovers swept); without it the daemon
+    still shares in-memory caches across jobs but persists nothing. *)
+
+val session : t -> Session.t
+
+val completed : t -> job_summary list
+(** Completed jobs, oldest first. *)
+
+val queue_depth : t -> int
+
+val handle_line : t -> string -> string list * bool
+(** Process one request line; returns the response lines (each a
+    complete JSON object) and [false] iff the request was [quit].  Never
+    raises on bad input. *)
+
+val serve_channel : t -> in_channel -> out_channel -> unit
+(** Serve requests from a channel pair until [quit] or EOF, flushing
+    after every request — [serve_channel t stdin stdout] is the CI smoke
+    transport. *)
+
+val serve_unix : t -> string -> unit
+(** Bind a Unix domain socket at a path (replacing any stale socket
+    file), then serve connections one at a time until some client sends
+    [quit].  A dropped connection returns the daemon to accept; the
+    socket file is removed on the way out. *)
+
+val close : t -> unit
+(** Shut down the daemon's session (its pool).  Does not interrupt
+    {!serve_unix}; call after the serve loop returns. *)

@@ -1,0 +1,51 @@
+(** A long-lived tuning session — the shared caches and worker pool that
+    serving mode multiplexes jobs onto.
+
+    One-shot {!Tuner.tune} builds its pool, {!Memo}, {!Compress.Sizecache}
+    and {!Incremental} store per call; passing a session instead makes
+    every job read and write the same instances, so jobs over the same
+    corpus hit each other's compiled binaries, compressed sizes and
+    pass-prefix snapshots.  Optionally backed by a persistent {!Store},
+    which also survives daemon restarts.
+
+    Sharing is lossless: every constituent cache is keyed on full content
+    identity and holds pure-function-of-key values, so a cross-job hit is
+    bit-identical to a recompute.  Only the counters (and wall-clock)
+    reveal the session was warm — {!Tuner.result} reports per-job counter
+    {e deltas} so a job's numbers mean the same thing with or without a
+    session. *)
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?pool:Parallel.Pool.t ->
+  ?memo_max_bytes:int ->
+  ?store:Store.t ->
+  unit ->
+  t
+(** [create ()] — a fresh session.  [jobs] (default 1) sizes the pool the
+    session creates and owns; passing an explicit [pool] instead hands
+    the session a caller-owned pool that {!close} will {e not} shut down.
+    [memo_max_bytes] bounds the shared compile memo
+    (default {!Memo.default_max_bytes}).  [store] attaches a persistent
+    artifact store: compiled binaries and compressed sizes are then
+    written through to disk and consulted on memo / size-cache misses. *)
+
+val pool : t -> Parallel.Pool.t
+val memo : t -> Memo.t
+val incremental : t -> Incremental.t
+val store : t -> Store.t option
+
+val sizecache : t -> Compress.Lz.level -> Compress.Sizecache.t
+(** The session's size cache for one compression level, created on first
+    use — levels measure different sizes, so each gets its own table and
+    its own key namespace in the backing store. *)
+
+val sizecache_counts : t -> int * int
+(** Aggregate (hits, misses) over every level's size cache — the
+    daemon's [status] hit-rate report. *)
+
+val close : t -> unit
+(** Shut down the session's pool if the session created it (a no-op for
+    a caller-supplied pool).  The caches need no teardown. *)

@@ -1,0 +1,357 @@
+(* The persistent, content-addressed artifact store behind serving mode.
+
+   Layout: every entry is one file under [dir], sharded across 256
+   prefix directories by the first two hex characters of the MD5 of its
+   key —
+
+       dir/
+         3f/3fa4c1…e2        one entry (header line + payload)
+         a0/a0ff07…9b
+         quarantine/         torn entries moved aside, kept for autopsy
+
+   An entry file is a single header line
+
+       bintuner-store 1 <payload-byte-length> <md5-hex-of-payload>\n
+
+   followed by the raw payload bytes.  Every write goes to a same-shard
+   temp file first and is renamed into place (rename(2) within one
+   directory is atomic on POSIX), so a crash mid-write can never leave a
+   half-visible entry under a live name — at worst a stale ".tmp" file,
+   which [create] sweeps away.  Reads validate the header's length and
+   digest against the payload; a torn or corrupt entry is moved to
+   quarantine/ and reported as a miss, never an error — the daemon
+   recomputes and the broken bytes stay on disk for inspection.
+
+   Recency and the byte budget live in an in-memory index (the same
+   ring-LRU discipline as [Memo]/[Incremental]/[Compress.Sizecache]),
+   rebuilt at [create] by scanning the shards — file mtimes seed the
+   initial recency order, so a reopened store evicts cold entries first.
+   Eviction deletes the entry file.  All index state is mutex-guarded;
+   file reads and temp-file writes happen outside the lock so pool
+   workers sharing the store never serialize on each other's IO. *)
+
+type node = {
+  digest : string;  (* hex MD5 of the key — also the file name *)
+  cost : int;  (* on-disk bytes of the entry file *)
+  mutable ring_prev : node;
+  mutable ring_next : node;
+}
+
+type t = {
+  dir : string;
+  max_bytes : int;
+  table : (string, node) Hashtbl.t;
+  sentinel : node;
+  lock : Mutex.t;
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable quarantined : int;
+  mutable tmp_counter : int;
+}
+
+let default_max_bytes = 256 * 1024 * 1024
+
+let magic = "bintuner-store 1"
+
+let is_hex_shard name =
+  String.length name = 2
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       name
+
+let is_tmp name =
+  (* temp files are "<digest>.tmp.<pid>.<n>" *)
+  let rec has_sub i =
+    if i + 4 > String.length name then false
+    else if String.sub name i 4 = ".tmp" then true
+    else has_sub (i + 1)
+  in
+  has_sub 0
+
+let shard_dir t digest = Filename.concat t.dir (String.sub digest 0 2)
+
+let entry_path t digest = Filename.concat (shard_dir t digest) digest
+
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      try Unix.mkdir d 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  make dir
+
+let unlink n =
+  n.ring_prev.ring_next <- n.ring_next;
+  n.ring_next.ring_prev <- n.ring_prev
+
+let push_front t n =
+  n.ring_next <- t.sentinel.ring_next;
+  n.ring_prev <- t.sentinel;
+  t.sentinel.ring_next.ring_prev <- n;
+  t.sentinel.ring_next <- n
+
+(* Must be called with the lock held: drop the LRU tail until the byte
+   budget holds, deleting the backing files. *)
+let evict_to_budget t =
+  while t.bytes > t.max_bytes do
+    let victim = t.sentinel.ring_prev in
+    unlink victim;
+    Hashtbl.remove t.table victim.digest;
+    t.bytes <- t.bytes - victim.cost;
+    t.evictions <- t.evictions + 1;
+    (try Sys.remove (entry_path t victim.digest) with Sys_error _ -> ());
+    Telemetry.add_count "store.evict"
+  done
+
+let create ?(max_bytes = default_max_bytes) dir =
+  mkdir_p dir;
+  let rec sentinel =
+    { digest = ""; cost = 0; ring_prev = sentinel; ring_next = sentinel }
+  in
+  let t =
+    {
+      dir;
+      max_bytes = max 1 max_bytes;
+      table = Hashtbl.create 1024;
+      sentinel;
+      lock = Mutex.create ();
+      bytes = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      quarantined = 0;
+      tmp_counter = 0;
+    }
+  in
+  (* Rebuild the index from disk: sweep crash leftovers (*.tmp.*), stat
+     every entry, and thread the ring oldest-first so mtime seeds the
+     LRU order of a reopened store. *)
+  let entries = ref [] in
+  Array.iter
+    (fun shard ->
+      if is_hex_shard shard then begin
+        let sdir = Filename.concat dir shard in
+        Array.iter
+          (fun name ->
+            let path = Filename.concat sdir name in
+            if is_tmp name then (try Sys.remove path with Sys_error _ -> ())
+            else
+              match Unix.stat path with
+              | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                entries := (name, st_size, st_mtime) :: !entries
+              | _ | (exception Unix.Unix_error _) -> ())
+          (try Sys.readdir sdir with Sys_error _ -> [||])
+      end)
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  List.sort (fun (_, _, a) (_, _, b) -> compare a b) !entries
+  |> List.iter (fun (digest, cost, _) ->
+         if not (Hashtbl.mem t.table digest) then begin
+           let n =
+             { digest; cost; ring_prev = t.sentinel; ring_next = t.sentinel }
+           in
+           push_front t n;
+           Hashtbl.replace t.table digest n;
+           t.bytes <- t.bytes + cost
+         end);
+  Mutex.lock t.lock;
+  evict_to_budget t;
+  Mutex.unlock t.lock;
+  t
+
+let dir t = t.dir
+
+let key_digest key = Digest.to_hex (Digest.string key)
+
+(* Move a torn entry aside (keeping the bytes for autopsy) and drop it
+   from the index.  Racing quarantines of the same entry are harmless:
+   the loser's rename fails silently and the index op is idempotent. *)
+let quarantine t digest =
+  Mutex.lock t.lock;
+  (match Hashtbl.find_opt t.table digest with
+  | Some n ->
+    unlink n;
+    Hashtbl.remove t.table digest;
+    t.bytes <- t.bytes - n.cost
+  | None -> ());
+  t.quarantined <- t.quarantined + 1;
+  Mutex.unlock t.lock;
+  mkdir_p (quarantine_dir t);
+  (try
+     Sys.rename (entry_path t digest)
+       (Filename.concat (quarantine_dir t) digest)
+   with Sys_error _ -> ());
+  Telemetry.add_count "store.quarantine"
+
+(* Read and validate one entry file; [Error `Torn] for anything that
+   does not parse back to its own digest. *)
+let read_entry path =
+  match open_in_bin path with
+  | exception Sys_error _ -> Error `Gone
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> Error `Torn
+        | header -> (
+          match String.split_on_char ' ' header with
+          | [ m1; m2; len; md5 ] when m1 ^ " " ^ m2 = magic -> (
+            match int_of_string_opt len with
+            | None -> Error `Torn
+            | Some len when len < 0 -> Error `Torn
+            | Some len -> (
+              match really_input_string ic len with
+              | exception End_of_file -> Error `Torn
+              | payload ->
+                if
+                  Digest.to_hex (Digest.string payload) = md5
+                  && pos_in ic = in_channel_length ic
+                then Ok payload
+                else Error `Torn))
+          | _ -> Error `Torn))
+
+let find t key =
+  let digest = key_digest key in
+  Mutex.lock t.lock;
+  match Hashtbl.find_opt t.table digest with
+  | None ->
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.lock;
+    Telemetry.add_count "store.miss";
+    None
+  | Some n ->
+    unlink n;
+    push_front t n;
+    Mutex.unlock t.lock;
+    (match read_entry (entry_path t digest) with
+    | Ok payload ->
+      Mutex.lock t.lock;
+      t.hits <- t.hits + 1;
+      Mutex.unlock t.lock;
+      Telemetry.add_count "store.hit";
+      Some payload
+    | Error `Gone ->
+      (* a racing eviction deleted the file between our index lookup and
+         the read — an ordinary miss, nothing to quarantine *)
+      Mutex.lock t.lock;
+      t.misses <- t.misses + 1;
+      (match Hashtbl.find_opt t.table digest with
+      | Some n ->
+        unlink n;
+        Hashtbl.remove t.table digest;
+        t.bytes <- t.bytes - n.cost
+      | None -> ());
+      Mutex.unlock t.lock;
+      Telemetry.add_count "store.miss";
+      None
+    | Error `Torn ->
+      Mutex.lock t.lock;
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      Telemetry.add_count "store.miss";
+      quarantine t digest;
+      None)
+
+let store t key payload =
+  let digest = key_digest key in
+  let header =
+    Printf.sprintf "%s %d %s\n" magic (String.length payload)
+      (Digest.to_hex (Digest.string payload))
+  in
+  let cost = String.length header + String.length payload in
+  (* an entry the whole budget cannot hold would only evict everything
+     else on its way to being evicted itself *)
+  if cost <= t.max_bytes then begin
+    Mutex.lock t.lock;
+    let already = Hashtbl.mem t.table digest in
+    let tmp_id = t.tmp_counter in
+    t.tmp_counter <- tmp_id + 1;
+    Mutex.unlock t.lock;
+    if not already then begin
+      let sdir = shard_dir t digest in
+      mkdir_p sdir;
+      let tmp =
+        Filename.concat sdir
+          (Printf.sprintf "%s.tmp.%d.%d" digest (Unix.getpid ()) tmp_id)
+      in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc header;
+         output_string oc payload;
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         (try Sys.remove tmp with Sys_error _ -> ());
+         raise e);
+      Mutex.lock t.lock;
+      if Hashtbl.mem t.table digest then begin
+        (* a racing worker published the same key first; entries are
+           deterministic per key, so keep-first is exact *)
+        Mutex.unlock t.lock;
+        try Sys.remove tmp with Sys_error _ -> ()
+      end
+      else begin
+        (match Sys.rename tmp (entry_path t digest) with
+        | () ->
+          let n =
+            { digest; cost; ring_prev = t.sentinel; ring_next = t.sentinel }
+          in
+          push_front t n;
+          Hashtbl.replace t.table digest n;
+          t.bytes <- t.bytes + cost;
+          evict_to_budget t
+        | exception Sys_error _ -> ());
+        Mutex.unlock t.lock
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Typed wrappers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Compiled binaries are marshaled records ([Isa.Binary.t] is pure
+   data).  The payload digest already rejects torn bytes; the try guards
+   against a valid-digest entry written by an incompatible build, which
+   degrades to a miss rather than an exception. *)
+let find_binary t key =
+  match find t key with
+  | None -> None
+  | Some payload -> (
+    match (Marshal.from_string payload 0 : Isa.Binary.t) with
+    | bin -> Some bin
+    | exception _ ->
+      quarantine t (key_digest key);
+      None)
+
+let store_binary t key (bin : Isa.Binary.t) =
+  store t key (Marshal.to_string bin [])
+
+let find_size t key =
+  match find t key with None -> None | Some s -> int_of_string_opt s
+
+let store_size t key v = store t key (string_of_int v)
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let locked t read =
+  Mutex.lock t.lock;
+  let v = read t in
+  Mutex.unlock t.lock;
+  v
+
+let hits t = locked t (fun t -> t.hits)
+let misses t = locked t (fun t -> t.misses)
+let evictions t = locked t (fun t -> t.evictions)
+let quarantined t = locked t (fun t -> t.quarantined)
+let length t = locked t (fun t -> Hashtbl.length t.table)
+let bytes t = locked t (fun t -> t.bytes)
+let max_bytes t = t.max_bytes

@@ -24,6 +24,8 @@ type result = {
   ncd_cache_misses : int;
   incr_hits : int;
   incr_misses : int;
+  store_hits : int;
+  store_misses : int;
   database : entry list;
 }
 
@@ -59,19 +61,21 @@ let functional_check bench bin0 bin =
 
 let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
     ?(termination = Search.default_termination) ?(seed = 1) ?strategy ?pool
-    ?(memoize = true) ?(incremental = true) ?(ncd_bound = false)
-    ~(profile : Toolchain.Flags.profile) (bench : Corpus.benchmark) =
+    ?session ?(memoize = true) ?(incremental = true) ?(ncd_bound = false)
+    ?lz_level ~(profile : Toolchain.Flags.profile) (bench : Corpus.benchmark) =
   let t0 = Unix.gettimeofday () in
   let strategy =
     match strategy with
     | Some s -> s
     | None -> Search.Genetic.strategy ~params ()
   in
-  (* a pool we create ourselves is ours to shut down, on every exit *)
+  (* a pool we create ourselves is ours to shut down, on every exit; a
+     session's pool (like an explicit one) outlives the call *)
   let owned_pool, pool =
-    match pool with
-    | Some p -> (None, p)
-    | None ->
+    match (pool, session) with
+    | Some p, _ -> (None, p)
+    | None, Some s -> (None, Session.pool s)
+    | None, None ->
       let p = Parallel.Pool.create 1 in
       (Some p, p)
   in
@@ -83,23 +87,75 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
   (* the pass-prefix snapshot store: every compile of this run — across
      all worker domains — reads and writes one LRU of post-step IR
      snapshots, so single-flag neighbours resume mid-pipeline instead of
-     recompiling from source.  Lossless, hence safe to default on. *)
-  let prefix = if incremental then Some (Incremental.create ()) else None in
+     recompiling from source.  Lossless, hence safe to default on; under
+     a session the store is shared so later jobs resume from prefixes
+     earlier jobs produced. *)
+  let prefix =
+    if not incremental then None
+    else
+      match session with
+      | Some s -> Some (Session.incremental s)
+      | None -> Some (Incremental.create ())
+  in
   let snapshot = Option.map Incremental.snapshot_store prefix in
   let baseline = Toolchain.Pipeline.compile_preset profile ~arch ?snapshot "O0" ast in
   let baseline_stream = code_stream baseline in
   (* every C(x) / C(x·baseline) term of this run goes through one
      content-addressed cache: the baseline's solo size is compressed
-     once, and candidates the GA revisits hit instead of re-compressing *)
-  let ncd_cache = Compress.Sizecache.create () in
+     once, and candidates the GA revisits hit instead of re-compressing.
+     Under a session the cache (one per compression level) is shared —
+     and, with a persistent store attached, durable. *)
+  let lz_level =
+    match lz_level with Some l -> l | None -> Compress.Lz.default_level ()
+  in
+  let ncd_cache =
+    match session with
+    | Some s -> Session.sizecache s lz_level
+    | None -> Compress.Sizecache.create ~level:lz_level ()
+  in
   let database = ref [] in
-  let memo = Memo.create ~enabled:memoize () in
+  let memo =
+    match session with
+    | Some s when memoize -> Session.memo s
+    | _ -> Memo.create ~enabled:memoize ()
+  in
+  let store = Option.bind session Session.store in
+  (* shared caches carry traffic from earlier jobs; snapshot the counters
+     so this result reports per-job deltas (for a fresh cache the deltas
+     equal the raw counters, keeping one-shot results byte-identical) *)
+  let memo_hits0 = Memo.hits memo in
+  let memo_misses0 = Memo.misses memo in
+  let ncd_hits0 = Compress.Sizecache.hits ncd_cache in
+  let ncd_misses0 = Compress.Sizecache.misses ncd_cache in
+  let incr_hits0 =
+    match prefix with Some p -> Incremental.hits p | None -> 0
+  in
+  let incr_misses0 =
+    match prefix with Some p -> Incremental.misses p | None -> 0
+  in
+  let store_hits0 = match store with Some s -> Store.hits s | None -> 0 in
+  let store_misses0 = match store with Some s -> Store.misses s | None -> 0 in
+  let program = Digest.to_hex (Digest.string bench.Corpus.source) in
   let compile vector =
-    Memo.find_or_compile memo
-      ~key:(Memo.key ~profile:profile.profile_name ~arch vector)
-      (fun () ->
-        Telemetry.with_span "tuner.compile" (fun () ->
-            Toolchain.Pipeline.compile_flags profile ~arch ?snapshot vector ast))
+    let key = Memo.key ~program ~profile:profile.profile_name ~arch vector in
+    Memo.find_or_compile memo ~key (fun () ->
+        let build () =
+          Telemetry.with_span "tuner.compile" (fun () ->
+              Toolchain.Pipeline.compile_flags profile ~arch ?snapshot vector
+                ast)
+        in
+        match store with
+        | None -> build ()
+        | Some st -> (
+          (* the durable tier behind the memo: consulted only on a memo
+             miss, written through on every fresh compile *)
+          let skey = "bin|" ^ key in
+          match Store.find_binary st skey with
+          | Some bin -> bin
+          | None ->
+            let bin = build () in
+            Store.store_binary st skey bin;
+            bin))
   in
   (* Pinned by the engine before each batch (never mid-batch), so the
      early-exit cap every worker prunes against is a pure function of
@@ -240,11 +296,19 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
     functional_ok =
       functional_check bench baseline best_binary
       && functional_check bench baseline refined_binary;
-    cache_hits = Memo.hits memo;
-    compilations = Memo.misses memo;
-    ncd_cache_hits = Compress.Sizecache.hits ncd_cache;
-    ncd_cache_misses = Compress.Sizecache.misses ncd_cache;
-    incr_hits = (match prefix with Some p -> Incremental.hits p | None -> 0);
-    incr_misses = (match prefix with Some p -> Incremental.misses p | None -> 0);
+    cache_hits = Memo.hits memo - memo_hits0;
+    compilations = Memo.misses memo - memo_misses0;
+    ncd_cache_hits = Compress.Sizecache.hits ncd_cache - ncd_hits0;
+    ncd_cache_misses = Compress.Sizecache.misses ncd_cache - ncd_misses0;
+    incr_hits =
+      (match prefix with Some p -> Incremental.hits p - incr_hits0 | None -> 0);
+    incr_misses =
+      (match prefix with
+      | Some p -> Incremental.misses p - incr_misses0
+      | None -> 0);
+    store_hits =
+      (match store with Some s -> Store.hits s - store_hits0 | None -> 0);
+    store_misses =
+      (match store with Some s -> Store.misses s - store_misses0 | None -> 0);
     database = List.rev !database;
   }

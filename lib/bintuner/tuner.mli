@@ -56,6 +56,12 @@ type result = {
           size-cache counters, the hit/miss split under racing workers
           is observational only — results never depend on it. *)
   incr_misses : int;  (** prefix lookups that found no snapshot *)
+  store_hits : int;
+      (** persistent-{!Store} lookups served from disk during this call
+          (always 0 without a store-backed session).  Nonzero on a warm
+          daemon's second job — the serve smoke gate checks exactly
+          this. *)
+  store_misses : int;  (** store lookups that found nothing servable *)
   database : entry list;  (** every (vector, fitness) evaluated *)
 }
 
@@ -83,9 +89,11 @@ val tune :
   ?seed:int ->
   ?strategy:Search.strategy ->
   ?pool:Parallel.Pool.t ->
+  ?session:Session.t ->
   ?memoize:bool ->
   ?incremental:bool ->
   ?ncd_bound:bool ->
+  ?lz_level:Compress.Lz.level ->
   profile:Toolchain.Flags.profile ->
   Corpus.benchmark ->
   result
@@ -110,6 +118,22 @@ val tune :
     candidate already produced.  Lossless: results are bit-identical
     with it on or off (the differential oracle pins this); only
     [incr_hits]/[incr_misses] and wall-clock change.
+
+    [session] plugs the call into a long-lived {!Session}: the session's
+    pool, compile memo, per-level size cache, incremental store and
+    (when attached) persistent artifact store replace the per-call
+    instances, so successive jobs over the same corpus hit each other's
+    entries.  Lossless like every cache here — a warm-session result is
+    bit-identical to a cold one-shot result (the serve differential test
+    pins this); cache counters in the result are per-call {e deltas}, so
+    they mean the same thing either way.  An explicit [pool] still takes
+    precedence over the session's; [memoize:false] opts the call out of
+    the shared memo.
+
+    [lz_level] fixes the compression level of the fitness's size cache
+    (default {!Compress.Lz.default_level}) — serving mode routes the
+    per-job [lz-level] parameter here rather than mutating the
+    process-wide default.
 
     [ncd_bound] (default OFF) arms the NCD early-exit: each batch is
     scored against the search's pre-batch best, and candidates that

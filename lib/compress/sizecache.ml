@@ -12,9 +12,19 @@ type node = {
   mutable ring_next : node;
 }
 
+(* An optional second, durable tier (e.g. [Bintuner.Store] in serving
+   mode): consulted after an in-memory miss, written through on every
+   exact insert.  Only ever holds exact sizes, so hitting it can no more
+   change a result than hitting the table can. *)
+type backing = {
+  load : string -> int option;
+  save : string -> int -> unit;
+}
+
 type t = {
   level : Lz.level;
   capacity : int;
+  backing : backing option;
   table : (string, node) Hashtbl.t;
   sentinel : node;
   lock : Mutex.t;
@@ -24,7 +34,7 @@ type t = {
 
 let default_capacity = 4096
 
-let create ?(capacity = default_capacity) ?level () =
+let create ?(capacity = default_capacity) ?level ?backing () =
   let level = match level with Some l -> l | None -> Lz.default_level () in
   let rec sentinel =
     { key = ""; value = 0; ring_prev = sentinel; ring_next = sentinel }
@@ -32,6 +42,7 @@ let create ?(capacity = default_capacity) ?level () =
   {
     level;
     capacity = max 1 capacity;
+    backing;
     table = Hashtbl.create (min 1024 (max 16 capacity));
     sentinel;
     lock = Mutex.create ();
@@ -57,6 +68,40 @@ let push_front t n =
 let solo_key x = "S" ^ Digest.string x
 let pair_key x y = "P" ^ Digest.string x ^ Digest.string y
 
+(* The locked insert shared by every path that learned an exact size:
+   keep-first on a racing duplicate (the compressor is deterministic, so
+   keeping the existing entry is equivalent), LRU-evict past capacity. *)
+let admit t key v =
+  Mutex.lock t.lock;
+  if not (Hashtbl.mem t.table key) then begin
+    let n = { key; value = v; ring_prev = t.sentinel; ring_next = t.sentinel } in
+    push_front t n;
+    Hashtbl.replace t.table key n;
+    if Hashtbl.length t.table > t.capacity then begin
+      let victim = t.sentinel.ring_prev in
+      unlink victim;
+      Hashtbl.remove t.table victim.key
+    end
+  end;
+  Mutex.unlock t.lock
+
+(* Backing-tier probe after an in-memory miss; IO runs unlocked.  A hit
+   is promoted into the table so the durable tier is only touched once
+   per resident key. *)
+let backing_load t key =
+  match t.backing with
+  | None -> None
+  | Some b -> (
+    match b.load key with
+    | Some v ->
+      admit t key v;
+      Telemetry.add_count "sizecache.backing_hit";
+      Some v
+    | None -> None)
+
+let backing_save t key v =
+  match t.backing with None -> () | Some b -> b.save key v
+
 let find_or_compute t key compute =
   Mutex.lock t.lock;
   match Hashtbl.find_opt t.table key with
@@ -68,27 +113,17 @@ let find_or_compute t key compute =
     Mutex.unlock t.lock;
     Telemetry.add_count "sizecache.hit";
     v
-  | None ->
+  | None -> (
     t.misses <- t.misses + 1;
     Mutex.unlock t.lock;
     Telemetry.add_count "sizecache.miss";
-    let v = compute () in
-    Mutex.lock t.lock;
-    (* a racing worker may have inserted the same key while we were
-       compressing; the compressor is deterministic, so keeping the
-       existing entry is equivalent *)
-    if not (Hashtbl.mem t.table key) then begin
-      let n = { key; value = v; ring_prev = t.sentinel; ring_next = t.sentinel } in
-      push_front t n;
-      Hashtbl.replace t.table key n;
-      if Hashtbl.length t.table > t.capacity then begin
-        let victim = t.sentinel.ring_prev in
-        unlink victim;
-        Hashtbl.remove t.table victim.key
-      end
-    end;
-    Mutex.unlock t.lock;
-    v
+    match backing_load t key with
+    | Some v -> v
+    | None ->
+      let v = compute () in
+      admit t key v;
+      backing_save t key v;
+      v)
 
 (* Probe-only / insert-only entry points for the NCD early-exit path:
    a pruned pair compression yields only an upper bound, which must
@@ -110,21 +145,11 @@ let peek t key =
     t.misses <- t.misses + 1;
     Mutex.unlock t.lock;
     Telemetry.add_count "sizecache.miss";
-    None
+    backing_load t key
 
 let insert t key v =
-  Mutex.lock t.lock;
-  if not (Hashtbl.mem t.table key) then begin
-    let n = { key; value = v; ring_prev = t.sentinel; ring_next = t.sentinel } in
-    push_front t n;
-    Hashtbl.replace t.table key n;
-    if Hashtbl.length t.table > t.capacity then begin
-      let victim = t.sentinel.ring_prev in
-      unlink victim;
-      Hashtbl.remove t.table victim.key
-    end
-  end;
-  Mutex.unlock t.lock
+  admit t key v;
+  backing_save t key v
 
 let peek_pair t x y = peek t (pair_key x y)
 

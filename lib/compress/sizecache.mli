@@ -20,10 +20,23 @@
 
 type t
 
+type backing = {
+  load : string -> int option;
+  save : string -> int -> unit;
+}
+(** An optional durable second tier (serving mode wires this to the
+    persistent artifact store): [load] is consulted after an in-memory
+    miss (a hit is promoted into the table and counted in telemetry as
+    [sizecache.backing_hit]), [save] is written through on every exact
+    size learned.  Both run outside the cache lock and must be safe to
+    call from any domain.  The backing must only ever return exact sizes
+    previously [save]d at this cache's level — the caller owns key
+    disambiguation across levels. *)
+
 val default_capacity : int
 (** LRU bound used when [create]'s [?capacity] is omitted (4096). *)
 
-val create : ?capacity:int -> ?level:Lz.level -> unit -> t
+val create : ?capacity:int -> ?level:Lz.level -> ?backing:backing -> unit -> t
 (** [create ()] — an empty cache holding at most [capacity] entries
     (least-recently-used evicted first).  [level] defaults to
     [Lz.default_level ()] {e at creation time}. *)
@@ -42,13 +55,14 @@ val size_pair : t -> string -> string -> int
 
 val peek_pair : t -> string -> string -> int option
 (** Probe the pair entry without computing on a miss (counts a hit or a
-    miss like {!size_pair}).  The NCD early-exit path probes first so a
-    warm exact size short-circuits the capped compression. *)
+    miss like {!size_pair}; an in-memory miss still consults the backing
+    tier).  The NCD early-exit path probes first so a warm exact size
+    short-circuits the capped compression. *)
 
 val insert_pair : t -> string -> string -> int -> unit
 (** Publish an exact pair size computed outside the cache (keep-first on
-    a racing duplicate; evicts like any other insert; counts nothing).
-    Only ever insert values equal to
+    a racing duplicate; evicts like any other insert; written through to
+    the backing tier; counts nothing).  Only ever insert values equal to
     [Lz.compressed_size_pair ~level:(level t) x y] — upper bounds from a
     pruned compression must not enter the table. *)
 

@@ -158,9 +158,28 @@ let record_span t name ~start ~dur ~attrs =
     ~attrs;
   Mutex.unlock t.mutex
 
+(* Ambient span attributes: a scope (e.g. the serve daemon's per-job
+   "job" id) whose attributes are appended to every span recorded inside
+   it.  Domain-local by design — spans recorded by pool workers on other
+   domains do not inherit the scope (the worker's domain has its own,
+   empty, slot), which keeps this allocation-free off the scoped path and
+   lock-free everywhere. *)
+let ambient_attrs : (string * string) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let with_ambient_attrs attrs f =
+  let prev = Domain.DLS.get ambient_attrs in
+  Domain.DLS.set ambient_attrs (attrs @ prev);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_attrs prev) f
+
 let span t ?(attrs = []) name f =
   if not t.enabled then f ()
   else begin
+    let attrs =
+      match Domain.DLS.get ambient_attrs with
+      | [] -> attrs
+      | ambient -> attrs @ ambient
+    in
     let start = now () in
     match f () with
     | y ->

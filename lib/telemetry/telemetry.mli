@@ -49,6 +49,15 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     [f] raises, the span is still recorded — with an ["error"] attribute
     — and the exception is re-raised. *)
 
+val with_ambient_attrs : (string * string) list -> (unit -> 'a) -> 'a
+(** [with_ambient_attrs attrs f] runs [f ()] with [attrs] appended to
+    every span recorded {e on this domain} inside the dynamic extent of
+    [f] — the serve daemon wraps each job in one of these so its spans
+    carry the job id without threading it through every call site.
+    Scopes nest (inner scopes append).  Domain-local: spans recorded by
+    pool workers on other domains do not inherit the scope.  Free when
+    telemetry is disabled beyond one domain-local read per span. *)
+
 val add_count : ?by:int -> string -> unit
 (** Increment a named counter on the global instance (default [by:1]). *)
 

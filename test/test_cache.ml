@@ -75,7 +75,9 @@ let prop_memo_matches_fresh_compile =
       in
       let memo = Bintuner.Memo.create () in
       let key =
-        Bintuner.Memo.key ~profile:profile.profile_name ~arch:Isa.Insn.X86_64 v
+        Bintuner.Memo.key
+          ~program:(Digest.to_hex (Digest.string bench.Corpus.source))
+          ~profile:profile.profile_name ~arch:Isa.Insn.X86_64 v
       in
       let compile () = Toolchain.Pipeline.compile_flags profile v prog in
       let first = Bintuner.Memo.find_or_compile memo ~key compile in
@@ -84,6 +86,58 @@ let prop_memo_matches_fresh_compile =
       first = fresh && second = fresh
       && Bintuner.Memo.hits memo = 1
       && Bintuner.Memo.misses memo = 1)
+
+(* The memo's byte budget must hold while two worker domains hammer it
+   with more distinct entries than the budget admits — eviction runs
+   under the same lock as admission, so the bound is an invariant, not a
+   steady-state.  Values served under eviction pressure stay correct. *)
+let test_memo_byte_bound_under_parallelism () =
+  let mkbin i =
+    {
+      Isa.Binary.arch = Isa.Insn.X86_64;
+      profile = "gcc-10.2";
+      opt_label = "test";
+      text = String.make 2048 (Char.chr (65 + (i mod 26)));
+      data = "";
+      data_words = [||];
+      symbols = [||];
+      functions = [||];
+      entry = 0;
+      ret_reg = 0;
+    }
+  in
+  (* each entry costs ~2 KiB + overhead, so a 16 KiB budget holds only a
+     handful of the 64 distinct keys — constant eviction *)
+  let memo = Bintuner.Memo.create ~max_bytes:(16 * 1024) () in
+  Parallel.Pool.with_pool 2 (fun pool ->
+      let results =
+        Parallel.Pool.map pool
+          (fun i ->
+            let k = i mod 64 in
+            let b =
+              Bintuner.Memo.find_or_compile memo
+                ~key:(Printf.sprintf "k%d" k)
+                (fun () -> mkbin k)
+            in
+            b.Isa.Binary.text.[0])
+          (Array.init 512 (fun i -> i))
+      in
+      Array.iteri
+        (fun i c ->
+          Alcotest.(check char)
+            (Printf.sprintf "value %d intact" i)
+            (Char.chr (65 + (i mod 64 mod 26)))
+            c)
+        results);
+  Alcotest.(check bool) "byte bound held" true
+    (Bintuner.Memo.bytes memo <= Bintuner.Memo.max_bytes memo);
+  Alcotest.(check bool) "entries bounded with bytes" true
+    (Bintuner.Memo.length memo * 2048 <= Bintuner.Memo.max_bytes memo);
+  Alcotest.(check bool) "evictions happened" true
+    (Bintuner.Memo.evictions memo > 0);
+  (* every call counts exactly one hit or one miss *)
+  Alcotest.(check int) "traffic conserved" 512
+    (Bintuner.Memo.hits memo + Bintuner.Memo.misses memo)
 
 (* The persisted database of a real tuned run: every recorded fitness —
    including entries for repair-induced duplicate vectors — must be
@@ -282,6 +336,8 @@ let tests =
       test_incremental_eviction_only_results_intact;
     Alcotest.test_case "tune incremental j-independent" `Slow
       test_tune_incremental_j_independent;
+    Alcotest.test_case "memo byte bound under -j 2" `Quick
+      test_memo_byte_bound_under_parallelism;
     QCheck_alcotest.to_alcotest prop_memo_matches_fresh_compile;
     QCheck_alcotest.to_alcotest prop_database_lookup_matches_fresh;
     Alcotest.test_case "sizecache ncd exact on corpus" `Slow

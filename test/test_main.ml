@@ -16,6 +16,8 @@ let () =
       ("parallel", Test_parallel.tests);
       ("telemetry", Test_telemetry.tests);
       ("cache", Test_cache.tests);
+      ("store", Test_store.tests);
+      ("serve", Test_serve.tests);
       ("fuzz", Test_fuzz.tests);
       ("incremental", Frozen_incremental.tests);
       ("flags", Test_flags.tests);

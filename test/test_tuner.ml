@@ -260,6 +260,104 @@ let prop_database_roundtrip =
         && l.best = run.best
       | _ -> false)
 
+(* A writer dying mid-save (injected via the test_write_failure hook)
+   must leave the existing database byte-identical and no temp file
+   behind — the crash-safety contract of the tmp+rename save. *)
+let test_database_atomic_save () =
+  let mkrun name =
+    {
+      Bintuner.Database.benchmark = name;
+      profile = "p";
+      arch = "a";
+      flag_names = [ "f1"; "f2" ];
+      entries = [ ([| true; false |], 0.25); ([| false; true |], 0.75) ];
+      best = [| true; false |];
+    }
+  in
+  let path = Filename.temp_file "bintuner" ".db" in
+  Fun.protect
+    ~finally:(fun () ->
+      Bintuner.Database.test_write_failure := None;
+      Sys.remove path)
+    (fun () ->
+      Bintuner.Database.save path [ mkrun "good" ];
+      let read_back () =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let before = read_back () in
+      Bintuner.Database.test_write_failure := Some 3;
+      (match Bintuner.Database.save path [ mkrun "good"; mkrun "doomed" ] with
+      | () -> Alcotest.fail "expected the injected write failure to raise"
+      | exception Failure _ -> ());
+      Bintuner.Database.test_write_failure := None;
+      Alcotest.(check string) "existing database untouched" before (read_back ());
+      Alcotest.(check bool) "no temp file left behind" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (* and it still parses *)
+      Alcotest.(check int) "still loads" 1
+        (List.length (Bintuner.Database.load path)))
+
+(* Fitness round-trips bit-exactly through save/load: the old %.6f
+   writer silently flattened every NCD to six decimals, so resumed runs
+   compared "equal" fitnesses that were never equal. *)
+let prop_database_fitness_lossless =
+  let adversarial =
+    [|
+      1.0 /. 3.0;
+      0.1;
+      0.30000000000000004;
+      Float.min_float;
+      Float.max_float;
+      4.9e-324 (* smallest denormal *);
+      epsilon_float;
+      1.0 +. epsilon_float;
+      -1.0 /. 3.0;
+      1e300;
+    |]
+  in
+  QCheck.Test.make ~name:"database fitness serialization is lossless"
+    ~count:200
+    QCheck.(pair float small_nat)
+    (fun (f, i) ->
+      let fitness =
+        if i mod 3 = 0 then adversarial.(i mod Array.length adversarial)
+        else if Float.is_finite f then f
+        else 0.5
+      in
+      let run =
+        {
+          Bintuner.Database.benchmark = "b";
+          profile = "p";
+          arch = "a";
+          flag_names = [ "f" ];
+          entries = [ ([| true |], fitness) ];
+          best = [| true |];
+        }
+      in
+      match save_load [ run ] with
+      | [ { Bintuner.Database.entries = [ (_, f') ]; _ } ] ->
+        Int64.bits_of_float f' = Int64.bits_of_float fitness
+      | _ -> false)
+
+(* Files written before the hex-float change carry %.6f decimals; the
+   loader must keep accepting them. *)
+let test_database_parses_legacy_decimals () =
+  let path = Filename.temp_file "bintuner" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "run b p a\nflags f1,f2\nbest 10\ne 10 0.123456\ne 01 -0.000001\nend\n";
+      close_out oc;
+      match Bintuner.Database.load path with
+      | [ { Bintuner.Database.entries = [ (_, a); (_, b) ]; _ } ] ->
+        Alcotest.(check (float 0.0)) "decimal entry" 0.123456 a;
+        Alcotest.(check (float 0.0)) "negative decimal entry" (-0.000001) b
+      | _ -> Alcotest.fail "legacy file did not load as one two-entry run")
+
 (* --- AV fleet --- *)
 
 let goodware =
@@ -365,6 +463,10 @@ let tests =
     Alcotest.test_case "database length checks" `Quick
       test_database_rejects_bad_lengths;
     QCheck_alcotest.to_alcotest prop_database_roundtrip;
+    Alcotest.test_case "database atomic save" `Quick test_database_atomic_save;
+    QCheck_alcotest.to_alcotest prop_database_fitness_lossless;
+    Alcotest.test_case "database legacy decimals" `Quick
+      test_database_parses_legacy_decimals;
     Alcotest.test_case "av training sample" `Quick test_av_detects_training_sample;
     Alcotest.test_case "av benign clean" `Quick test_av_benign_program_clean;
     Alcotest.test_case "av O3 detected" `Quick test_av_o3_mostly_detected;

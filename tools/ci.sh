@@ -38,6 +38,14 @@
 #      with the prefix store on, real snapshot hits, and an evals/sec
 #      speedup above 1 (the incremental-differential gate; the committed
 #      full-budget artifact records the >= 1.5x speedup).
+#  10. serve smoke gate — tools/serve_smoke.sh boots the `serve` daemon
+#      in stdin mode against a scratch persistent store, submits two
+#      identical jobs plus a `status` request, and asserts job 2 is
+#      served from the store (store_hits > 0, with the in-memory memo
+#      disabled so a hit cannot hide there), both jobs agree
+#      bit-for-bit, the status report is coherent, and no worker
+#      domains leak; afterwards the frozen greedy table1 sentinel is
+#      re-checked — a daemon run must not perturb the one-shot path.
 #
 # Exits non-zero on any failure.
 
@@ -239,6 +247,18 @@ for c in d["incremental"]:
     assert c["on"]["incr_hits"] >= 1, c
 ' "$search_dir/BENCH_search.json" \
     || { echo "ci: FAIL — BENCH_search.json failed validation" >&2; exit 1; }
+fi
+
+echo "== ci: serve smoke gate (daemon + persistent store) =="
+tools/serve_smoke.sh
+
+# the daemon writes only to its scratch store, so the one-shot bench
+# path must still reproduce the pre-overhaul frozen oracle afterwards
+sentinel_after_serve=$(dune exec bench/main.exe -- -quick -j 2 -lz-level greedy table1 \
+  | grep 'table1 determinism sentinel:' | awk '{print $NF}')
+if [ "$sentinel_after_serve" != "$greedy_baseline" ]; then
+  echo "ci: FAIL — greedy sentinel drifted after the serve gate ($sentinel_after_serve vs $greedy_baseline)" >&2
+  exit 1
 fi
 
 echo "ci: OK (sentinel $sentinel_j1, greedy oracle stable, $memo_hits memo hits, ncd cache hits $ncd_hits, all strategies within budget, $(wc -l < "$trace_file") trace events)"
