@@ -236,6 +236,16 @@ let fig5 () =
 
 let table1 () =
   print_string (section "Table 1: BinTuner search iterations / running time");
+  (* the searched space: universe growth (e.g. the flag-gated optimizer
+     passes) legitimately moves the sentinels below, so the size is part
+     of the record *)
+  List.iter
+    (fun p ->
+      printf "flag universe: %s %d flags, %d constraint rules\n"
+        p.Toolchain.Flags.profile_name
+        (Array.length p.Toolchain.Flags.flags)
+        (List.length p.Toolchain.Flags.constraints))
+    [ Toolchain.Flags.llvm; Toolchain.Flags.gcc ];
   pretune
     (List.concat_map
        (fun profile -> List.map (fun b -> (profile, b)) (eval_set ()))

@@ -516,6 +516,64 @@ let analyze_cmd =
           always-true conditions, unreachable switch arms) over the corpus.")
     Term.(const run $ bench $ source_arg $ allowlist)
 
+(* The optimizer-pass smoke gate: compile the whole corpus per profile at
+   an -O2-equivalent vector with the flag-gated analysis passes enabled,
+   and require every pass's telemetry counter to fire at least once.  A
+   pass that never fires anywhere is a dead knob in the search space —
+   exactly the regression this gate (run from tools/ci.sh) exists to
+   catch. *)
+let passfire_cmd =
+  let counters =
+    [
+      ("-ftree-ccp", "-fsccp", "pass.sccp.folds");
+      ("-ftree-pre", "-fnewgvn", "pass.gvn.replaced");
+      ("-ftree-loop-im", "-flicm-aggressive", "pass.licm_dom.hoisted");
+    ]
+  in
+  let run () =
+    let failures = ref 0 in
+    List.iter
+      (fun p ->
+        let vector = Array.copy (Option.get (Toolchain.Flags.preset p "O2")) in
+        List.iter
+          (fun (gcc_name, llvm_name, _) ->
+            let name =
+              if p.Toolchain.Flags.profile_name = "gcc-10.2" then gcc_name
+              else llvm_name
+            in
+            vector.(Toolchain.Flags.flag_index p name) <- true)
+          counters;
+        if not (Toolchain.Constraints.valid p vector) then
+          failwith "passfire: O2 + new passes is not a valid vector";
+        let t = Telemetry.create () in
+        Telemetry.set_global t;
+        List.iter
+          (fun b ->
+            ignore
+              (Toolchain.Pipeline.compile_flags p vector (Corpus.program b)))
+          Corpus.all;
+        Telemetry.set_global Telemetry.null;
+        List.iter
+          (fun (_, _, counter) ->
+            let v = Telemetry.counter_value t counter in
+            Printf.printf "%-9s %-22s %d\n" p.Toolchain.Flags.profile_name
+              counter v;
+            if v = 0 then incr failures)
+          counters)
+      Toolchain.Flags.profiles;
+    if !failures > 0 then begin
+      Printf.printf "passfire: %d counter(s) never fired\n" !failures;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "passfire"
+       ~doc:
+         "Compile the corpus at -O2 plus the flag-gated analysis passes and \
+          check each pass's telemetry counter fires at least once per \
+          profile.")
+    Term.(const run $ const ())
+
 let list_cmd =
   let run () =
     List.iter
@@ -538,4 +596,4 @@ let () =
     Cmd.info "bintuner_cli" ~version:"1.0.0"
       ~doc:"Auto-tuning of binary code differences (PLDI'21 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; serve_cmd; diff_cmd; ncd_cmd; scan_cmd; verify_cmd; analyze_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; serve_cmd; diff_cmd; ncd_cmd; scan_cmd; verify_cmd; analyze_cmd; passfire_cmd; list_cmd ]))

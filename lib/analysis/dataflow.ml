@@ -346,9 +346,17 @@ module Constprop = struct
       | Vpack _ | Print_int _ | Print_char _ ->
         env)
 
+  (* [Loop_branch] decrements its counter register as part of the
+     terminator, so the value any successor sees is not the value the
+     block's instructions left behind.  Clearing the counter to [Top] at
+     block exit keeps the out-facts sound — without it, a constant seeded
+     before the loop would wrongly survive every iteration. *)
+  let kill_loop_counter b env =
+    match b.term with Loop_branch (r, _, _) -> Imap.add r Top env | _ -> env
+
   let block_transfer b = function
     | Unreached -> Unreached
-    | Env env -> Env (List.fold_left eval_instr env b.instrs)
+    | Env env -> Env (kill_loop_counter b (List.fold_left eval_instr env b.instrs))
 
   let solve (f : func) =
     let module D = struct
@@ -515,9 +523,14 @@ module Interval = struct
       | Vpack _ | Print_int _ | Print_char _ ->
         env)
 
+  (* as in {!Constprop}: a [Loop_branch] terminator mutates its counter,
+     so its interval must not flow past the block exit *)
+  let kill_loop_counter b env =
+    match b.term with Loop_branch (r, _, _) -> Imap.add r top env | _ -> env
+
   let block_transfer b = function
     | Unreached -> Unreached
-    | Env env -> Env (List.fold_left eval_instr env b.instrs)
+    | Env env -> Env (kill_loop_counter b (List.fold_left eval_instr env b.instrs))
 
   let solve (f : func) =
     let module D = struct

@@ -1,0 +1,146 @@
+open Vir.Ir
+module Iset = Analysis.Dataflow.Iset
+
+(* Global value numbering over the dominator tree.
+
+   A pure expression (Bin/Un/Select) whose operands are immediates or
+   single-definition registers gets a canonical key; a later instruction
+   in a dominated position computing the same key is replaced by a copy
+   from the first computation's destination.  Replacement is 1-for-1
+   ([Mov] for the original), so the pass never grows the instruction
+   count.
+
+   Soundness does not assume SSA — only single *static* definitions:
+   - a key is registered only where every register operand's definition
+     has already been seen on the current dominator-tree path, so the
+     operands' reads at the two sites observe the same (post-definition)
+     values;
+   - registers mutated by a [Loop_branch] terminator are never
+     single-definition (the decrement is a def the instruction stream
+     doesn't show);
+   - an instruction reading its own destination is skipped outright. *)
+
+type ekey =
+  | Kbin of binop * operand * operand
+  | Kun of unop * operand
+  | Ksel of operand * operand * operand
+
+let commutative = function
+  | Add | Mul | And | Or | Xor | Seq | Sne -> true
+  | Sub | Div | Mod | Shl | Shr | Slt | Sle | Sgt | Sge -> false
+
+(* Static definition counts: instruction defs, an implicit def at entry
+   for every parameter, and two for any [Loop_branch] counter so it can
+   never look single-definition. *)
+let def_counts f =
+  let t = Hashtbl.create 64 in
+  let bump r n =
+    Hashtbl.replace t r (n + try Hashtbl.find t r with Not_found -> 0)
+  in
+  List.iter (fun p -> bump p 1) f.params;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i -> match instr_def i with Some d -> bump d 1 | None -> ())
+        b.instrs;
+      match b.term with Loop_branch (r, _, _) -> bump r 2 | _ -> ())
+    f.blocks;
+  t
+
+let run f =
+  let dom = Cfg_utils.dominators f in
+  let counts = def_counts f in
+  let single_def r = Hashtbl.find_opt counts r = Some 1 in
+  let entry = match f.blocks with b :: _ -> b.label | [] -> -1 in
+  (* children in the dominator tree: idom(l) is the strict dominator of l
+     with the largest dominator set (strict dominators of a node are
+     totally ordered, so the maximum is unique) *)
+  let children = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun l doms ->
+      if l <> entry then begin
+        let card x =
+          match Hashtbl.find_opt dom x with
+          | Some s -> Iset.cardinal s
+          | None -> 0
+        in
+        let idom =
+          Iset.fold
+            (fun d best ->
+              match best with
+              | Some b when card b >= card d -> best
+              | _ -> Some d)
+            (Iset.remove l doms) None
+        in
+        match idom with
+        | Some p ->
+          Hashtbl.replace children p
+            (l :: (try Hashtbl.find children p with Not_found -> []))
+        | None -> ()
+      end)
+    dom;
+  let block_of = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace block_of b.label b) f.blocks;
+  let table : (ekey, int) Hashtbl.t = Hashtbl.create 64 in
+  (* registers whose (unique) definition lies on the dominator-tree path
+     above the current program point; parameters are defined at entry *)
+  let defined = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace defined p ()) f.params;
+  let key_of i =
+    let ok d o =
+      match o with
+      | Imm _ -> true
+      | Reg r -> r <> d && single_def r && Hashtbl.mem defined r
+    in
+    match i with
+    | Bin (op, d, a, b) when ok d a && ok d b ->
+      let a, b =
+        if commutative op && compare b a < 0 then (b, a) else (a, b)
+      in
+      Some (d, Kbin (op, a, b))
+    | Un (op, d, a) when ok d a -> Some (d, Kun (op, a))
+    | Select (d, c, a, b) when ok d c && ok d a && ok d b ->
+      Some (d, Ksel (c, a, b))
+    | _ -> None
+  in
+  let replaced = ref 0 in
+  let rec visit l =
+    match Hashtbl.find_opt block_of l with
+    | None -> ()
+    | Some b ->
+      let added_keys = ref [] in
+      let added_defs = ref [] in
+      b.instrs <-
+        List.map
+          (fun i ->
+            let i =
+              match key_of i with
+              | Some (d, k) -> (
+                match Hashtbl.find_opt table k with
+                | Some rep when rep <> d ->
+                  incr replaced;
+                  Mov (d, Reg rep)
+                | Some _ -> i
+                | None ->
+                  if single_def d then begin
+                    Hashtbl.add table k d;
+                    added_keys := k :: !added_keys
+                  end;
+                  i)
+              | None -> i
+            in
+            (match instr_def i with
+            | Some d when not (Hashtbl.mem defined d) ->
+              Hashtbl.replace defined d ();
+              added_defs := d :: !added_defs
+            | _ -> ());
+            i)
+          b.instrs;
+      List.iter visit
+        (List.sort compare
+           (try Hashtbl.find children l with Not_found -> []));
+      List.iter (fun k -> Hashtbl.remove table k) !added_keys;
+      List.iter (fun d -> Hashtbl.remove defined d) !added_defs
+  in
+  if f.blocks <> [] then visit entry;
+  if !replaced > 0 then Telemetry.add_count ~by:!replaced "pass.gvn.replaced"

@@ -1,0 +1,12 @@
+(** Global value numbering with redundancy elimination (-fgvn / -ftree-pre).
+
+    Dominator-tree-scoped value numbering over pure VIR expressions
+    (Bin/Un/Select with canonicalized commutative operands): a dominated
+    recomputation of an available expression becomes a [Mov] from the
+    dominating result.  Replacement is one-for-one, so the instruction
+    count never increases; a cleanup pass (required by the flag's SAT
+    constraint) propagates and kills the copies. *)
+
+val run : Vir.Ir.func -> unit
+(** In-place; idempotent (copies are never value-numbered).  Fires the
+    [pass.gvn.replaced] telemetry counter. *)

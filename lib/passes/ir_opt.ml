@@ -259,7 +259,12 @@ let licm f =
               match instr_def i with
               | Some d -> Hashtbl.replace defined_in_loop d ()
               | None -> ())
-            b.instrs)
+            b.instrs;
+          (* a [Loop_branch] counter is decremented by the terminator on
+             every iteration — loop-varying even with no instruction def *)
+          match b.term with
+          | Loop_branch (r, _, _) -> Hashtbl.replace defined_in_loop r ()
+          | _ -> ())
         loop_blocks;
       (* A hoistable instruction: pure computation, defined exactly once
          in the function, every register operand defined outside the loop

@@ -1,0 +1,13 @@
+(** Aggressive loop-invariant code motion (-flicm-aggressive /
+    -ftree-loop-im).
+
+    Natural loops come from the dominator instance (via
+    {!Cfg_utils.natural_loops}); whole chains of pure invariant
+    computations (Bin/Un/Mov/Select) hoist into a fresh preheader in one
+    application.  A candidate's definition must dominate every use of
+    its register, so the pass never speculates a conditionally executed
+    definition — sound on arbitrary CFGs, not just frontend output. *)
+
+val run : Vir.Ir.func -> unit
+(** In-place; idempotent.  Fires the [pass.licm_dom.hoisted] telemetry
+    counter. *)

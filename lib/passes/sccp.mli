@@ -1,0 +1,26 @@
+(** Sparse conditional constant propagation (-fsccp / -ftree-ccp).
+
+    Built on the {!Analysis.Dataflow.Constprop} lattice for operand
+    substitution and folding, with the {!Analysis.Dataflow.Interval}
+    instance pruning statically-false branches and provably-dead switch
+    arms the constant lattice cannot decide. *)
+
+type stats = {
+  folds : int;  (** instructions or terminators rewritten this round *)
+  pruned_edges : (int * int) list;
+      (** CFG edges (source label, former target label) removed this
+          round — every one is justified by the analysis facts at the
+          source block, which tests cross-check independently *)
+}
+
+val transform : Vir.Ir.func -> stats
+(** One monotone rewrite round: solve both analyses, substitute constant
+    operands, fold fully-constant pure instructions to [Mov], fold
+    decided branches/switches.  No CFG cleanup — labels are stable, so
+    pruned edges can be checked against the pre-pass function. *)
+
+val run : Vir.Ir.func -> unit
+(** Iterate {!transform} with {!Cleanup.simplify_cfg} + {!Cleanup.dce}
+    between rounds until nothing changes (pruning sharpens joins, which
+    can expose further constants).  Idempotent.  Fires the
+    [pass.sccp.folds] and [pass.sccp.pruned_edges] telemetry counters. *)

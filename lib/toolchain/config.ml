@@ -34,6 +34,9 @@ type t = {
   strength_reduce : bool;
   if_convert : bool;
   licm : bool;
+  sccp : bool;  (** sparse conditional constprop + edge pruning *)
+  gvn : bool;  (** dominator-ordered global value numbering *)
+  aggressive_licm : bool;  (** chain-hoisting LICM on the dominator instance *)
   tail_call : bool;
   branch_count_reg : bool;
   slp : bool;
@@ -81,6 +84,9 @@ let o0 =
     strength_reduce = false;
     if_convert = false;
     licm = false;
+    sccp = false;
+    gvn = false;
+    aggressive_licm = false;
     tail_call = false;
     branch_count_reg = false;
     slp = false;

@@ -77,6 +77,12 @@ let fx_ifcvt2 c = { c with if_convert_late = true }
 
 let fx_licm c = { c with licm = true }
 
+let fx_sccp c = { c with sccp = true }
+
+let fx_gvn c = { c with gvn = true }
+
+let fx_aggressive_licm c = { c with aggressive_licm = true }
+
 let fx_tail c = { c with tail_call = true }
 
 let fx_bcr c = { c with branch_count_reg = true }
@@ -159,6 +165,9 @@ let gcc_flag_list =
     mk "-fcall-used-r9" "treat r9 as clobbered by calls" fx_call_used;
     mk "-fcall-used-r10" "treat r10 as clobbered by calls" fx_call_used;
     mk "-fcall-used-r11" "treat r11 as clobbered by calls" fx_call_used;
+    mk "-ftree-ccp" "sparse conditional constant propagation" fx_sccp;
+    mk "-ftree-pre" "global value numbering / redundancy elimination" fx_gvn;
+    mk "-ftree-loop-im" "aggressive loop-invariant chain hoisting" fx_aggressive_licm;
   ]
 
 let gcc_constraints =
@@ -175,6 +184,11 @@ let gcc_constraints =
     Conflicts ("-mstackrealign", "-fomit-frame-pointer");
     Conflicts ("-fpcc-struct-return", "-freg-struct-return");
     Conflicts ("-floop-unroll-and-jam", "-ftree-loop-distribute-patterns");
+    (* GVN leaves copies behind and relies on the post-loop CSE round to
+       propagate them; aggressive LICM extends the baseline loop pass *)
+    Requires ("-ftree-pre", "-frerun-cse-after-loop");
+    Requires ("-ftree-loop-im", "-fmove-loop-invariants");
+    Conflicts ("-ftree-ccp", "-finstrument-functions");
   ]
 
 let gcc_o1 =
@@ -273,6 +287,9 @@ let llvm_flag_list =
     mk "-fcall-used-r9" "treat r9 as clobbered by calls" fx_call_used;
     mk "-fcall-used-r10" "treat r10 as clobbered by calls" fx_call_used;
     mk "-fcall-used-r11" "treat r11 as clobbered by calls" fx_call_used;
+    mk "-fsccp" "sparse conditional constant propagation" fx_sccp;
+    mk "-fnewgvn" "global value numbering / redundancy elimination" fx_gvn;
+    mk "-flicm-aggressive" "aggressive loop-invariant chain hoisting" fx_aggressive_licm;
   ]
 
 let llvm_constraints =
@@ -286,6 +303,11 @@ let llvm_constraints =
     Conflicts ("-mstackrealign", "-fomit-frame-pointer");
     Conflicts ("-fpcc-struct-return", "-freg-struct-return");
     Conflicts ("-floop-unroll-and-jam", "-floop-distribute");
+    (* as in the gcc profile: new GVN needs the late CSE cleanup, and the
+       aggressive LICM builds on the baseline one *)
+    Requires ("-fnewgvn", "-flate-cse");
+    Requires ("-flicm-aggressive", "-flicm");
+    Conflicts ("-fsccp", "-finstrument-functions");
   ]
 
 let llvm_o1 =

@@ -146,6 +146,7 @@ let plan ~verify ~where (cfg : Config.t) : step list =
      jump chains from lowering never survive a real compiler *)
   ir_step "simplify_cfg" "simplify_cfg" C.simplify_cfg;
   if cfg.baseline then ir_step "baseline" "baseline" C.run_baseline;
+  if cfg.sccp then ir_step "sccp" "sccp" Passes.Sccp.run;
   if cfg.strength_reduce then begin
     ir_step "strength_reduce" "strength_reduce" IO.strength_reduce;
     if cfg.baseline then begin
@@ -154,6 +155,9 @@ let plan ~verify ~where (cfg : Config.t) : step list =
     end
   end;
   if cfg.licm then ir_step "licm" "licm" IO.licm;
+  if cfg.aggressive_licm then
+    ir_step "licm_dom" "licm_dom" Passes.Licm_dom.run;
+  if cfg.gvn then ir_step "gvn" "gvn" Passes.Gvn.run;
   if cfg.if_convert then ir_step "if_convert" "if_convert" IO.if_convert;
   if cfg.slp then ir_step "slp_vectorize" "slp_vectorize" IO.slp_vectorize;
   if cfg.extra_lvn then begin

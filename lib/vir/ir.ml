@@ -174,6 +174,43 @@ let map_targets g = function
     Switch (v, List.map (fun (k, l) -> (k, g l)) cases, g d)
 
 (* ------------------------------------------------------------------ *)
+(* Operand substitution (the rewrite machinery shared by the           *)
+(* constant-propagating and value-numbering passes)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Rewrite every operand *read* of an instruction.  Destinations and the
+   vector-register namespace are left alone: [g] maps values, not names. *)
+let map_operands g = function
+  | Bin (op, d, a, b) -> Bin (op, d, g a, g b)
+  | Un (op, d, a) -> Un (op, d, g a)
+  | Mov (d, a) -> Mov (d, g a)
+  | Select (d, c, a, b) -> Select (d, g c, g a, g b)
+  | Load (d, arr, idx) -> Load (d, arr, g idx)
+  | Store (arr, idx, v) -> Store (arr, g idx, g v)
+  | Slot_load _ as i -> i
+  | Slot_store (s, v) -> Slot_store (s, g v)
+  | Call (d, f, args) -> Call (d, f, List.map g args)
+  | Vload (d, arr, idx) -> Vload (d, arr, g idx)
+  | Vstore (arr, idx, v) -> Vstore (arr, g idx, v)
+  | Vbin _ as i -> i
+  | Vsplat (d, v) -> Vsplat (d, g v)
+  | Vpack (d, vs) -> Vpack (d, List.map g vs)
+  | Vreduce _ as i -> i
+  | Print_int v -> Print_int (g v)
+  | Print_char v -> Print_char (g v)
+  | Read_input (d, idx) -> Read_input (d, g idx)
+  | Input_len _ as i -> i
+
+(* Rewrite the operand reads of a terminator.  [Loop_branch] is excluded:
+   its counter is a read-modify-write register, not a value read. *)
+let term_map_operands g = function
+  | Ret (Some v) -> Ret (Some (g v))
+  | (Ret None | Jmp _ | Loop_branch _) as t -> t
+  | Br (c, a, b) -> Br (g c, a, b)
+  | Switch (v, cases, d) -> Switch (g v, cases, d)
+  | Tail_call (f, args) -> Tail_call (f, List.map g args)
+
+(* ------------------------------------------------------------------ *)
 (* Register use/def traversal                                          *)
 (* ------------------------------------------------------------------ *)
 

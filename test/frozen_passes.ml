@@ -1,0 +1,131 @@
+(* Frozen IR oracles for the flag-gated optimizer passes.
+
+   For every corpus benchmark, the MD5 of the printed IR after
+   [simplify_cfg] + [run_baseline] + one new pass was recorded when the
+   pass landed (and its output was audited by the property suite in
+   [Test_opt_passes]).  Any behavioural drift in SCCP, GVN or the
+   dominator LICM — or in the analyses and cleanup passes they build on —
+   shows up here as a digest mismatch, pointing at the exact benchmark
+   whose code changed.  Benchmarks whose digest equals a sibling table's
+   entry are ones the pass leaves alone after baseline cleanup: that
+   dormancy is part of the frozen behaviour too.
+
+   To re-baseline after an *intentional* change, recompute with
+   [digest_of] below and update the tables in the same commit as the
+   change, with a justification. *)
+
+let digest_of pass bench =
+  let ir = Vir.Lower.lower_program (Corpus.program bench) in
+  List.iter
+    (fun f ->
+      Passes.Cleanup.simplify_cfg f;
+      Passes.Cleanup.run_baseline f;
+      pass f)
+    ir.Vir.Ir.funcs;
+  Digest.to_hex (Digest.string (Vir.Ir.program_to_string ir))
+
+let sccp_digests =
+  [
+    ("400.perlbench", "b5e51a109355db6f338749c805450da2");
+    ("401.bzip2", "6c1a4027be77d0148895c6a89b4f8860");
+    ("429.mcf", "5348c5a7ece9f3c0965e2b4e997f7db1");
+    ("445.gobmk", "d3a89a17f1cf6b904ab92c4611daa979");
+    ("456.hmmer", "16d2221f265df1ac9620632c2da28aee");
+    ("458.sjeng", "7a6ea18cd8149ef2c26d175188d7cc63");
+    ("462.libquantum", "be968118a6e8e6b541f95594ed4d6aee");
+    ("464.h264ref", "38b40062b19c58e3c60ecb24a735b51d");
+    ("473.astar", "90f00eb8f588e68a9e175490c6f9575a");
+    ("483.xalancbmk", "78403c3b5ed765fd9b14066b5201c794");
+    ("600.perlbench_s", "4c6ed805fda020f49343ec54ff68a9aa");
+    ("605.mcf_s", "1afc06dc5c3b2b854a1687fd74d4ea8f");
+    ("620.omnetpp_s", "9bf8d1bf6ee0422d2bf5a7c0ee5ff46d");
+    ("623.xalancbmk_s", "181ea2fd766b71847af9509485333c32");
+    ("625.x264_s", "2d9189128edf8d0b8437ea8473d603ac");
+    ("631.deepsjeng_s", "4ab3cc99128c619a934cbd8570ec20cc");
+    ("641.leela_s", "a14e14c94a3176b21ac419e23ae2a62f");
+    ("648.exchange2_s", "62ffc9d722112f111ca2c948777b6955");
+    ("657.xz_s", "24f89c162329bdea274ec31791f6f60f");
+    ("coreutils", "3586e7776ad345d039d7f2f9f6919e5d");
+    ("openssl", "1e935bf06f08d58f926dd17b841dbff6");
+    ("lightaidra", "db382b09cb1fab6c4e8c37d33e5ed549");
+    ("bashlife", "479efca83b6d2b8ade184f53f393e8de");
+    ("mirai", "df5d892d75de42822c8953b4f6f7c7f0");
+  ]
+
+let gvn_digests =
+  [
+    ("400.perlbench", "b5e51a109355db6f338749c805450da2");
+    ("401.bzip2", "6c1a4027be77d0148895c6a89b4f8860");
+    ("429.mcf", "5348c5a7ece9f3c0965e2b4e997f7db1");
+    ("445.gobmk", "1ac8ece7e965899e68362572df81843c");
+    ("456.hmmer", "16d2221f265df1ac9620632c2da28aee");
+    ("458.sjeng", "7a6ea18cd8149ef2c26d175188d7cc63");
+    ("462.libquantum", "be968118a6e8e6b541f95594ed4d6aee");
+    ("464.h264ref", "38b40062b19c58e3c60ecb24a735b51d");
+    ("473.astar", "90f00eb8f588e68a9e175490c6f9575a");
+    ("483.xalancbmk", "78403c3b5ed765fd9b14066b5201c794");
+    ("600.perlbench_s", "97da88d1c1e7afb5910c10a66fa09afd");
+    ("605.mcf_s", "1afc06dc5c3b2b854a1687fd74d4ea8f");
+    ("620.omnetpp_s", "9bf8d1bf6ee0422d2bf5a7c0ee5ff46d");
+    ("623.xalancbmk_s", "181ea2fd766b71847af9509485333c32");
+    ("625.x264_s", "2d9189128edf8d0b8437ea8473d603ac");
+    ("631.deepsjeng_s", "4ab3cc99128c619a934cbd8570ec20cc");
+    ("641.leela_s", "fb5e512d21f31ac807d68068c8f412b8");
+    ("648.exchange2_s", "62ffc9d722112f111ca2c948777b6955");
+    ("657.xz_s", "24f89c162329bdea274ec31791f6f60f");
+    ("coreutils", "3586e7776ad345d039d7f2f9f6919e5d");
+    ("openssl", "1e935bf06f08d58f926dd17b841dbff6");
+    ("lightaidra", "db382b09cb1fab6c4e8c37d33e5ed549");
+    ("bashlife", "479efca83b6d2b8ade184f53f393e8de");
+    ("mirai", "df5d892d75de42822c8953b4f6f7c7f0");
+  ]
+
+let licm_dom_digests =
+  [
+    ("400.perlbench", "b5e51a109355db6f338749c805450da2");
+    ("401.bzip2", "baa3cdf5c4cee0a214590b88b993cd48");
+    ("429.mcf", "5348c5a7ece9f3c0965e2b4e997f7db1");
+    ("445.gobmk", "8015b09b7dfb08a9a79e1d5513c8378e");
+    ("456.hmmer", "bd54df9912ae3d948d3b9c35edc0cbb2");
+    ("458.sjeng", "3f169e1efcaf2a64e6a5d94480dddfe8");
+    ("462.libquantum", "be968118a6e8e6b541f95594ed4d6aee");
+    ("464.h264ref", "bca053fefb97b2cc57282c6a972fa936");
+    ("473.astar", "90f00eb8f588e68a9e175490c6f9575a");
+    ("483.xalancbmk", "78403c3b5ed765fd9b14066b5201c794");
+    ("600.perlbench_s", "35dd10a5a551bb99faf9180b148fbe1f");
+    ("605.mcf_s", "1afc06dc5c3b2b854a1687fd74d4ea8f");
+    ("620.omnetpp_s", "9bf8d1bf6ee0422d2bf5a7c0ee5ff46d");
+    ("623.xalancbmk_s", "181ea2fd766b71847af9509485333c32");
+    ("625.x264_s", "f6ecdcb5dc8c932d8828a9449eb4f800");
+    ("631.deepsjeng_s", "4ea3922c2505dcfecc3da91c142142f6");
+    ("641.leela_s", "a14e14c94a3176b21ac419e23ae2a62f");
+    ("648.exchange2_s", "1c0c619828bb055bb239a1d89db40ff1");
+    ("657.xz_s", "24f89c162329bdea274ec31791f6f60f");
+    ("coreutils", "378db3484d7d921a34c7141215681256");
+    ("openssl", "4018a06580550380b7cc673b5dd719c7");
+    ("lightaidra", "db382b09cb1fab6c4e8c37d33e5ed549");
+    ("bashlife", "3ff478bec369756cf66aeb516de0710c");
+    ("mirai", "0928b80d174b9d94cd49df065ebbf335");
+  ]
+
+let check (pname, pass, table) () =
+  Alcotest.(check int)
+    (pname ^ " table covers the corpus")
+    (List.length Corpus.all) (List.length table);
+  List.iter
+    (fun b ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s on %s" pname b.Corpus.bname)
+        (List.assoc b.Corpus.bname table)
+        (digest_of pass b))
+    Corpus.all
+
+let tests =
+  List.map
+    (fun ((pname, _, _) as spec) ->
+      Alcotest.test_case ("frozen " ^ pname) `Slow (check spec))
+    [
+      ("sccp", Passes.Sccp.run, sccp_digests);
+      ("gvn", Passes.Gvn.run, gvn_digests);
+      ("licm_dom", Passes.Licm_dom.run, licm_dom_digests);
+    ]

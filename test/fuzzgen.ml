@@ -78,7 +78,7 @@ let rec gen_stmt ctx : Minic.Ast.stmt list =
   let open Minic.Ast in
   ctx.depth <- ctx.depth + 1;
   let result =
-    match Util.Rng.int ctx.rng (if ctx.depth > 3 then 4 else 11) with
+    match Util.Rng.int ctx.rng (if ctx.depth > 3 then 4 else 14) with
     | 0 ->
       let v = fresh ctx "v" in
       let s = [ Decl (v, Some (gen_expr ctx 2)) ] in
@@ -191,6 +191,62 @@ let rec gen_stmt ctx : Minic.Ast.stmt list =
       Decl (acc, Some acc_init)
       :: nest
       @ [ Expr_stmt (Call ("print_int", [ Var acc ])) ]
+    | 10 ->
+      (* branch on a condition that is constant after folding: one arm is
+         statically dead — feed for SCCP's edge pruning, and for the
+         interval instance when the comparison needs range reasoning *)
+      let c = Util.Rng.int ctx.rng 5 in
+      [
+        If
+          ( Binary (Lt, Int c, Int (Util.Rng.int ctx.rng 5)),
+            gen_block ctx,
+            gen_block ctx );
+      ]
+    | 11 ->
+      (* the same subexpression recomputed in a dominated branch arm: a
+         cross-block redundancy the local LVN cannot see — feed for GVN *)
+      let e = gen_expr ctx 2 in
+      let v1 = fresh ctx "c" in
+      let v2 = fresh ctx "c" in
+      let s =
+        [
+          Decl (v1, Some e);
+          If
+            ( gen_expr ctx 1,
+              [
+                Decl (v2, Some e);
+                Expr_stmt
+                  (Call ("print_int", [ Binary (Bxor, Var v1, Var v2) ]));
+              ],
+              [] );
+        ]
+      in
+      ctx.scalars <- v1 :: ctx.scalars;
+      s
+    | 12 ->
+      (* a chain of loop-invariant computations inside a counted loop —
+         feed for the dominator-based LICM's multi-instruction hoisting *)
+      let base = fresh ctx "inv" in
+      let pre = Decl (base, Some (gen_expr ctx 2)) in
+      let acc = pick_scalar ctx in
+      let i = fresh ctx "i" in
+      let a = fresh ctx "h" in
+      let b = fresh ctx "h" in
+      let bound = 2 + Util.Rng.int ctx.rng 10 in
+      ctx.scalars <- base :: ctx.scalars;
+      [
+        pre;
+        For
+          ( Some (Decl (i, Some (Int 0))),
+            Some (Binary (Lt, Var i, Int bound)),
+            Some (Assign (i, Binary (Add, Var i, Int 1))),
+            [
+              Decl (a, Some (Binary (Mul, Var base, Var base)));
+              Decl (b, Some (Binary (Add, Binary (Mul, Var a, Int 3), Int 7)));
+              Assign
+                (acc, Binary (Add, Var acc, Binary (Bxor, Var b, Var i)));
+            ] );
+      ]
     | 8 when ctx.funcs <> [] ->
       let f = List.nth ctx.funcs (Util.Rng.int ctx.rng (List.length ctx.funcs)) in
       let v = fresh ctx "r" in

@@ -196,9 +196,69 @@ let prop_fuzz_incremental_vs_scratch =
             inc = scratch && List.map (behaviour_vm inc) inputs = reference)
           [ v1; v2; v1 ])
 
+(* Each new optimizer pass (SCCP, GVN, dominator LICM) — alone and all
+   together — on top of O2, for both profiles.  [with_verifier] makes the
+   pipeline structurally verify the IR after {e every} pass prefix of
+   every compile, and the VM run is the behavioural differential on top.
+   The Requires-dependencies of each flag are enabled explicitly so the
+   vectors stay constraint-valid by construction. *)
+let new_pass_flag_sets profile =
+  if profile.Toolchain.Flags.profile_name = "gcc-10.2" then
+    [
+      [ "-ftree-ccp" ];
+      [ "-ftree-pre"; "-frerun-cse-after-loop" ];
+      [ "-ftree-loop-im"; "-fmove-loop-invariants" ];
+      [
+        "-ftree-ccp"; "-ftree-pre"; "-frerun-cse-after-loop";
+        "-ftree-loop-im"; "-fmove-loop-invariants";
+      ];
+    ]
+  else
+    [
+      [ "-fsccp" ];
+      [ "-fnewgvn"; "-flate-cse" ];
+      [ "-flicm-aggressive"; "-flicm" ];
+      [ "-fsccp"; "-fnewgvn"; "-flate-cse"; "-flicm-aggressive"; "-flicm" ];
+    ]
+
+let test_fuzz_new_passes () =
+  with_verifier @@ fun () ->
+  List.iter
+    (fun seed ->
+      let prog = Fuzzgen.generate seed in
+      Minic.Sema.check prog;
+      let ir = Vir.Lower.lower_program prog in
+      match List.map (behaviour_ir ir) inputs with
+      | exception Vir.Interp.Out_of_fuel -> () (* pathological runtime: skip *)
+      | reference ->
+        List.iter
+          (fun profile ->
+            let base = Option.get (Toolchain.Flags.preset profile "O2") in
+            List.iter
+              (fun names ->
+                let v = Array.copy base in
+                List.iter
+                  (fun n -> v.(Toolchain.Flags.flag_index profile n) <- true)
+                  names;
+                Alcotest.(check bool)
+                  (Printf.sprintf "vector valid: %s" (String.concat "," names))
+                  true
+                  (Toolchain.Constraints.valid profile v);
+                let bin = Toolchain.Pipeline.compile_flags profile v prog in
+                Alcotest.(check (list string))
+                  (Printf.sprintf "seed %d %s O2+%s" seed
+                     profile.Toolchain.Flags.profile_name
+                     (String.concat "," names))
+                  reference
+                  (List.map (behaviour_vm bin) inputs))
+              (new_pass_flag_sets profile))
+          [ Toolchain.Flags.gcc; Toolchain.Flags.llvm ])
+    (List.init 10 (fun i -> (i * 53) + 7))
+
 let tests =
   [
     Alcotest.test_case "fuzz presets" `Slow test_fuzz_presets;
+    Alcotest.test_case "fuzz new optimizer passes" `Slow test_fuzz_new_passes;
     QCheck_alcotest.to_alcotest prop_fuzz_random_flags;
     QCheck_alcotest.to_alcotest prop_fuzz_incremental_vs_scratch;
     Alcotest.test_case "fuzz parallel oracle" `Slow test_fuzz_parallel_oracle;

@@ -8,6 +8,7 @@ let () =
       ("minic", Test_minic.tests);
       ("isa", Test_isa.tests);
       ("passes", Test_passes.tests);
+      ("opt-passes", Test_opt_passes.tests);
       ("analysis", Test_analysis.tests);
       ("compiler", Test_compiler.tests);
       ("diffing", Test_diffing.tests);
@@ -20,6 +21,7 @@ let () =
       ("serve", Test_serve.tests);
       ("fuzz", Test_fuzz.tests);
       ("incremental", Frozen_incremental.tests);
+      ("frozen-passes", Frozen_passes.tests);
       ("flags", Test_flags.tests);
       ("vm", Test_vm.tests);
       ("obf", Test_obf.tests);

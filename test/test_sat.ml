@@ -121,6 +121,89 @@ let prop_repair_always_valid =
       let rng = Util.Rng.create seed in
       Toolchain.Constraints.valid p (Toolchain.Constraints.repair p rng v))
 
+(* Random repaired vectors over the *grown* universe (the optimizer-pass
+   flags live at the tail of both profiles, past the 44 bits the property
+   above draws), for both profiles. *)
+let prop_repair_full_universe =
+  QCheck.Test.make ~name:"repair valid over full universe, both profiles"
+    ~count:150
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, pick) ->
+      let p =
+        if pick mod 2 = 0 then Toolchain.Flags.gcc else Toolchain.Flags.llvm
+      in
+      let n = Array.length p.Toolchain.Flags.flags in
+      let rng = Util.Rng.create ((seed * 31) + 17) in
+      let v = Array.init n (fun _ -> Util.Rng.bool rng) in
+      let v' = Toolchain.Constraints.repair p rng v in
+      Toolchain.Constraints.valid p v'
+      && Toolchain.Constraints.violations p v' = [])
+
+(* Every clause introduced for the new optimizer-pass flags, exercised in
+   both directions: the lone flag violates exactly its Requires rule (or
+   the conflict pair its Conflicts rule), adding the dependency clears
+   it, and repair always reaches a valid vector from the broken one. *)
+let test_new_pass_flag_constraints () =
+  let check_requires p (flag, dep) =
+    let n = Array.length p.Toolchain.Flags.flags in
+    let rule = Toolchain.Flags.Requires (flag, dep) in
+    let v = Array.make n false in
+    v.(Toolchain.Flags.flag_index p flag) <- true;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %s without %s invalid" p.profile_name flag dep)
+      false
+      (Toolchain.Constraints.valid p v);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: the broken rule is reported" p.profile_name)
+      true
+      (List.mem rule (Toolchain.Constraints.violations p v));
+    let rng = Util.Rng.create 7 in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %s repairable" p.profile_name flag)
+      true
+      (Toolchain.Constraints.valid p (Toolchain.Constraints.repair p rng v));
+    v.(Toolchain.Flags.flag_index p dep) <- true;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %s with %s valid" p.profile_name flag dep)
+      true
+      (Toolchain.Constraints.valid p v)
+  in
+  let check_conflict p (a, b) =
+    let n = Array.length p.Toolchain.Flags.flags in
+    let rule = Toolchain.Flags.Conflicts (a, b) in
+    let v = Array.make n false in
+    v.(Toolchain.Flags.flag_index p a) <- true;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %s alone valid" p.profile_name a)
+      true
+      (Toolchain.Constraints.valid p v);
+    v.(Toolchain.Flags.flag_index p b) <- true;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %s + %s conflict" p.profile_name a b)
+      false
+      (Toolchain.Constraints.valid p v);
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: the conflict is reported" p.profile_name)
+      true
+      (List.mem rule (Toolchain.Constraints.violations p v));
+    let rng = Util.Rng.create 11 in
+    let v' = Toolchain.Constraints.repair p rng v in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: conflict repairable" p.profile_name)
+      true
+      (Toolchain.Constraints.valid p v')
+  in
+  let gcc = Toolchain.Flags.gcc and llvm = Toolchain.Flags.llvm in
+  List.iter (check_requires gcc)
+    [
+      ("-ftree-pre", "-frerun-cse-after-loop");
+      ("-ftree-loop-im", "-fmove-loop-invariants");
+    ];
+  check_conflict gcc ("-ftree-ccp", "-finstrument-functions");
+  List.iter (check_requires llvm)
+    [ ("-fnewgvn", "-flate-cse"); ("-flicm-aggressive", "-flicm") ];
+  check_conflict llvm ("-fsccp", "-finstrument-functions")
+
 let tests =
   [
     Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
@@ -134,4 +217,7 @@ let tests =
     Alcotest.test_case "conflict detection" `Quick test_violation_detection;
     Alcotest.test_case "requires detection" `Quick test_requires_detection;
     QCheck_alcotest.to_alcotest prop_repair_always_valid;
+    QCheck_alcotest.to_alcotest prop_repair_full_universe;
+    Alcotest.test_case "new pass flag constraints" `Quick
+      test_new_pass_flag_constraints;
   ]

@@ -53,12 +53,15 @@ set -eu
 cd "$(dirname "$0")/.."
 root=$(pwd)
 
-# table1 sentinel of the pre-overhaul NCD kernel, captured at -quick -j 2
-# before the hash-chain match finder landed.  The Greedy level freezes
-# that kernel, so this value must never drift (re-baselining it is only
-# legitimate together with the greedy golden digests in
-# test/test_lz_properties.ml).
-greedy_baseline=7f112dab553031cf2d0b06b786b3e191
+# table1 sentinel of the pre-overhaul NCD kernel at -quick -j 2.  The
+# Greedy level freezes that kernel, so this value must never drift from
+# compression-side changes (re-baselining for those is only legitimate
+# together with the greedy golden digests in test/test_lz_properties.ml).
+# It DOES move when the flag universe grows — the GA samples vectors over
+# the whole universe — so re-baselines must cite the universe change and
+# the table1 "flag universe" lines record the size each run searched.
+# Last re-baseline: 44 -> 47 flags/profile (SCCP, GVN, dominator-LICM).
+greedy_baseline=9d5c9283dcd3e56505ef6e2b9906a10b
 
 echo "== ci: build + tests =="
 make check
@@ -152,6 +155,14 @@ dune exec bin/bintuner_cli.exe -- analyze --allowlist tools/lint_allowlist.txt >
 # changing any result
 dune exec bench/main.exe -- -quick -j 2 -only coreutils -verify fig5 > /dev/null \
   || { echo "ci: FAIL — fig5 -verify failed" >&2; exit 1; }
+
+echo "== ci: optimizer pass-fire smoke gate =="
+# each flag-gated optimizer pass (SCCP, GVN, dominator LICM) must fire —
+# telemetry counter >= 1 — somewhere on the corpus at its O2-plus-flag
+# vector, for both profiles: a pass that never fires is a dead knob in
+# the search universe
+dune exec bin/bintuner_cli.exe -- passfire \
+  || { echo "ci: FAIL — an optimizer pass never fired on the corpus" >&2; exit 1; }
 
 echo "== ci: ncd microbench smoke =="
 ncd_dir=$(mktemp -d)
