@@ -8,10 +8,13 @@
 #   make serve-smoke  boot the tuning daemon against a scratch persistent
 #                     store, run two jobs + status over stdin, assert job 2
 #                     is served off disk and no worker domains leak
+#   make inspect      verified disassembly + gadget census + feature
+#                     extraction over the whole corpus on all four arches
+#                     (exits non-zero on any disassembly mismatch)
 #   make ci           what tools/ci.sh runs: check + bench-smoke + the
 #                     determinism-sentinel cross-check over -j values
 
-.PHONY: check bench-smoke verify-ir serve-smoke ci
+.PHONY: check bench-smoke verify-ir serve-smoke inspect ci
 
 check:
 	dune build @all
@@ -44,6 +47,13 @@ verify-ir:
 # quit.  tools/ci.sh runs the same script as its final gate.
 serve-smoke:
 	tools/serve_smoke.sh
+
+# Binary-level static analysis over every corpus program on every arch:
+# recursive-descent disassembly cross-checked against the linear sweep
+# and the compiler's true instruction boundaries, gadget census, dead
+# code and stack bounds.  Any disassembly mismatch fails the target.
+inspect:
+	dune exec bin/bintuner_cli.exe -- inspect --all --arch all
 
 ci:
 	tools/ci.sh

@@ -1524,6 +1524,85 @@ let serve_bench () =
   printf "  wrote BENCH_serve.json (%d cold/warm pairs)\n" (List.length cases)
 
 (* ------------------------------------------------------------------ *)
+(* Binary insight: gadget census and dead code per preset per arch     *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregates the binsight inspect pipeline over the evaluation set:
+   for each (arch, preset) every benchmark is compiled with ground-truth
+   instruction boundaries, re-disassembled and censused, and the sums
+   feed the EXPERIMENTS.md gadget-census baseline table.  Any
+   disassembly mismatch anywhere is a hard failure.  [-quick] restricts
+   the sweep to x86-64 at O0/O3. *)
+let binsight () =
+  print_string
+    (section "Binary insight: gadget census and dead code per preset per arch");
+  let profile = Toolchain.Flags.gcc in
+  let archs =
+    if !quick_mode then [ Isa.Insn.X86_64 ]
+    else [ Isa.Insn.X86_64; Isa.Insn.X86_32; Isa.Insn.Arm; Isa.Insn.Mips ]
+  in
+  let presets =
+    if !quick_mode then [ "O0"; "O3" ] else Toolchain.Flags.preset_names
+  in
+  let mismatches = ref 0 in
+  let rows =
+    List.concat_map
+      (fun arch ->
+        List.map
+          (fun preset ->
+            let text = ref 0 and insns = ref 0 and sites = ref 0 in
+            let uniq = ref 0 and ret = ref 0 and jump = ref 0 in
+            let call = ref 0 and dead = ref 0 in
+            List.iter
+              (fun bench ->
+                let boundaries = Hashtbl.create 64 in
+                let bin =
+                  Toolchain.Pipeline.compile_preset profile ~arch ~boundaries
+                    preset (Corpus.program bench)
+                in
+                let r =
+                  Binsight.Report.inspect ~bench:bench.Corpus.bname ~preset
+                    ~ground_truth:boundaries bin
+                in
+                mismatches := !mismatches + Binsight.Report.mismatch_count r;
+                let g = r.Binsight.Report.r_gadgets in
+                let ft = r.Binsight.Report.r_features in
+                text := !text + String.length bin.Isa.Binary.text;
+                insns := !insns + ft.Binsight.Features.insn_count;
+                sites := !sites + g.Binsight.Gadgets.c_sites;
+                uniq := !uniq + List.length g.c_unique;
+                ret := !ret + g.c_ret;
+                jump := !jump + g.c_jump;
+                call := !call + g.c_call;
+                dead := !dead + ft.dead_bytes)
+              (eval_set ());
+            [
+              Isa.Insn.arch_name arch;
+              preset;
+              string_of_int !text;
+              string_of_int !insns;
+              string_of_int !sites;
+              string_of_int !uniq;
+              Printf.sprintf "%d/%d/%d" !ret !jump !call;
+              string_of_int !dead;
+              Printf.sprintf "%.2f"
+                (1000.0 *. float_of_int !sites /. float_of_int (max 1 !text));
+            ])
+          presets)
+      archs
+  in
+  print_string
+    (Util.Render.table
+       ~header:
+         [
+           "arch"; "preset"; "text B"; "insns"; "sites"; "unique";
+           "ret/jmp/call"; "dead B"; "sites/KB";
+         ]
+       ~rows);
+  printf "  disassembly mismatches: %d (gate: must be 0)\n" !mismatches;
+  if !mismatches > 0 then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1544,6 +1623,7 @@ let experiments =
     ("serve", serve_bench);
     ("ablation", ablation);
     ("multiobj", multiobj);
+    ("binsight", binsight);
     ("bechamel", bechamel);
   ]
 

@@ -457,7 +457,17 @@ let analyze_cmd =
                 on the list are suppressed and the exit status only reflects \
                 new ones.")
   in
-  let run bench source allowlist =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit the findings as one machine-readable JSON object \
+                (findings with benchmark/func/category/detail/suppressed, \
+                plus fresh and suppressed counts) instead of the line \
+                rendering.  Exit status is unchanged: nonzero iff any \
+                fresh finding.")
+  in
+  let run bench source allowlist json =
     let allowed = Hashtbl.create 64 in
     (match allowlist with
     | None -> ()
@@ -482,6 +492,7 @@ let analyze_cmd =
       | None, None -> List.map (fun b -> (b, Corpus.program b)) Corpus.all
     in
     let fresh = ref 0 and suppressed = ref 0 in
+    let collected = ref [] in
     List.iter
       (fun ((b : Corpus.benchmark), program) ->
         (* lint the raw lowering: -O0 IR, before any pass can fold away a
@@ -493,20 +504,38 @@ let analyze_cmd =
             program
         in
         List.iter
-          (fun f ->
+          (fun (f : Analysis.Lint.finding) ->
             let line =
               Printf.sprintf "%s/%s" b.Corpus.bname
                 (Analysis.Lint.finding_to_string f)
             in
-            if Hashtbl.mem allowed line then incr suppressed
-            else begin
-              incr fresh;
-              print_endline line
-            end)
+            let supp = Hashtbl.mem allowed line in
+            if supp then incr suppressed else incr fresh;
+            if json then
+              collected :=
+                Util.Json.Obj
+                  [
+                    ("benchmark", Util.Json.Str b.Corpus.bname);
+                    ("func", Util.Json.Str f.func);
+                    ("category", Util.Json.Str f.category);
+                    ("detail", Util.Json.Str f.detail);
+                    ("suppressed", Util.Json.Bool supp);
+                  ]
+                :: !collected
+            else if not supp then print_endline line)
           (Analysis.Lint.lint_program ir))
       benches;
-    Printf.printf "lint: %d finding(s), %d suppressed by allowlist\n" !fresh
-      !suppressed;
+    if json then
+      Util.Json.to_channel stdout
+        (Util.Json.Obj
+           [
+             ("findings", Util.Json.List (List.rev !collected));
+             ("fresh", Util.Json.Int !fresh);
+             ("suppressed", Util.Json.Int !suppressed);
+           ])
+    else
+      Printf.printf "lint: %d finding(s), %d suppressed by allowlist\n" !fresh
+        !suppressed;
     if !fresh > 0 then exit 1
   in
   Cmd.v
@@ -514,7 +543,94 @@ let analyze_cmd =
        ~doc:
          "Run the pedantic MinC lint (unused locals, dead stores, \
           always-true conditions, unreachable switch arms) over the corpus.")
-    Term.(const run $ bench $ source_arg $ allowlist)
+    Term.(const run $ bench $ source_arg $ allowlist $ json_flag)
+
+let inspect_cmd =
+  let preset =
+    Arg.(value & opt string "O2" & info [ "preset" ] ~doc:"O0|O1|O2|O3|Os.")
+  in
+  let arch =
+    Arg.(value & opt string "x86-64"
+         & info [ "arch" ]
+             ~doc:"Target: x86-64 | x86-32 | arm | mips | all.")
+  in
+  let all =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Inspect the whole corpus (overrides --bench/--source).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ]
+             ~doc:
+               "Write the reports as a JSON array to this file ($(b,-) = \
+                stdout) instead of printing the human summaries.")
+  in
+  let gadget_k =
+    Arg.(value & opt int Binsight.Gadgets.default_k
+         & info [ "gadget-k" ]
+             ~doc:"Maximum instructions per gadget in the census.")
+  in
+  let run bench source profile arch preset all json gadget_k =
+    let p = profile_of profile in
+    let archs =
+      match arch with
+      | "all" -> [ Isa.Insn.X86_64; Isa.Insn.X86_32; Isa.Insn.Arm; Isa.Insn.Mips ]
+      | a -> [ arch_of a ]
+    in
+    let benches =
+      if all then List.map (fun b -> (Corpus.program b, b)) Corpus.all
+      else [ load_program ~bench ~source ]
+    in
+    let mismatches = ref 0 in
+    let reports =
+      (* Always compile fresh with ground-truth boundary export: the
+         emit-snapshot cache cannot serve boundary-carrying compiles. *)
+      List.concat_map
+        (fun (program, (b : Corpus.benchmark)) ->
+          List.map
+            (fun arch ->
+              let boundaries = Hashtbl.create 64 in
+              let bin =
+                Toolchain.Pipeline.compile_preset p ~arch ~boundaries preset
+                  program
+              in
+              let r =
+                Binsight.Report.inspect ~bench:b.Corpus.bname ~preset
+                  ~gadget_k ~ground_truth:boundaries bin
+              in
+              mismatches := !mismatches + Binsight.Report.mismatch_count r;
+              r)
+            archs)
+        benches
+    in
+    (match json with
+    | None ->
+      List.iter (fun r -> print_string (Binsight.Report.summary r)) reports
+    | Some path ->
+      let j = Util.Json.List (List.map Binsight.Report.to_json reports) in
+      if path = "-" then Util.Json.to_channel stdout j
+      else begin
+        let oc = open_out path in
+        Util.Json.to_channel oc j;
+        close_out oc;
+        Printf.printf "wrote %d report(s) to %s\n" (List.length reports) path
+      end);
+    if !mismatches > 0 then begin
+      Printf.eprintf "inspect: %d disassembly mismatch(es)\n" !mismatches;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Statically analyze compiled binaries: verified disassembly \
+          (recursive descent cross-checked against the linear sweep and \
+          the compiler's true instruction boundaries), gadget census, \
+          call-graph reachability, stack-depth bounds and provenance \
+          features.  Exits nonzero on any disassembly mismatch.")
+    Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch $ preset
+          $ all $ json $ gadget_k)
 
 (* The optimizer-pass smoke gate: compile the whole corpus per profile at
    an -O2-equivalent vector with the flag-gated analysis passes enabled,
@@ -596,4 +712,4 @@ let () =
     Cmd.info "bintuner_cli" ~version:"1.0.0"
       ~doc:"Auto-tuning of binary code differences (PLDI'21 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; serve_cmd; diff_cmd; ncd_cmd; scan_cmd; verify_cmd; analyze_cmd; passfire_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; tune_cmd; serve_cmd; diff_cmd; ncd_cmd; scan_cmd; verify_cmd; analyze_cmd; inspect_cmd; passfire_cmd; list_cmd ]))

@@ -49,82 +49,175 @@ end
    keep short chains exact. *)
 let widen_delay = 4
 
-module Make (D : DOMAIN) = struct
+(* The worklist engine itself is graph-agnostic: it only needs to
+   enumerate nodes in a deterministic seeding order and follow edges in
+   both directions.  [Make] below instantiates it for [Vir.Ir] functions;
+   [Binsight] instantiates it for recovered binary CFGs. *)
+module type GRAPH = sig
+  type t
+
+  type node
+  (** Node identifiers are used as hash-table keys, so they should be
+      small immutable values (labels, addresses) with structural
+      equality. *)
+
+  val nodes : t -> node list
+  (** All nodes in layout order.  Forward problems seed the worklist in
+      this order, backward problems in reverse; facts are computed only
+      for listed nodes. *)
+
+  val succs : t -> node -> node list
+  val preds : t -> node -> node list
+end
+
+module type GRAPH_DOMAIN = sig
+  module G : GRAPH
+
+  type t
+
+  val direction : direction
+
+  val boundary : G.t -> t
+  (** Fact at the CFG boundary: entry node(s) for a forward problem,
+      exit nodes for a backward one (see {!is_boundary}). *)
+
+  val is_boundary : G.t -> G.node -> bool
+  (** Whether the node receives the {!boundary} seed in addition to its
+      neighbours' facts. *)
+
+  val bottom : G.t -> t
+  (** Initial fact for every node; must be the identity of [join]. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val transfer : G.t -> G.node -> t -> t
+end
+
+module Make_graph (D : GRAPH_DOMAIN) = struct
   type fact = D.t
 
-  let solve (f : func) : (int, fact) Hashtbl.t * (int, fact) Hashtbl.t =
-    let n = List.length f.blocks in
+  let solve (g : D.G.t) :
+      (D.G.node, fact) Hashtbl.t * (D.G.node, fact) Hashtbl.t =
+    let ns = D.G.nodes g in
+    let n = List.length ns in
     let in_facts = Hashtbl.create (2 * n) in
     let out_facts = Hashtbl.create (2 * n) in
-    let by_label = Hashtbl.create (2 * n) in
+    let known = Hashtbl.create (2 * n) in
     List.iter
-      (fun b ->
-        Hashtbl.replace by_label b.label b;
-        Hashtbl.replace in_facts b.label (D.bottom f);
-        Hashtbl.replace out_facts b.label (D.bottom f))
-      f.blocks;
-    let preds = predecessors f in
-    let entry = match f.blocks with b :: _ -> b.label | [] -> -1 in
+      (fun nd ->
+        Hashtbl.replace known nd ();
+        Hashtbl.replace in_facts nd (D.bottom g);
+        Hashtbl.replace out_facts nd (D.bottom g))
+      ns;
     let queue = Queue.create () in
     let queued = Hashtbl.create (2 * n) in
-    let push l =
-      if Hashtbl.mem by_label l && not (Hashtbl.mem queued l) then begin
-        Hashtbl.replace queued l ();
-        Queue.add l queue
+    let push nd =
+      if Hashtbl.mem known nd && not (Hashtbl.mem queued nd) then begin
+        Hashtbl.replace queued nd ();
+        Queue.add nd queue
       end
     in
     (match D.direction with
-    | Forward -> List.iter (fun b -> push b.label) f.blocks
-    | Backward -> List.iter (fun b -> push b.label) (List.rev f.blocks));
+    | Forward -> List.iter push ns
+    | Backward -> List.iter push (List.rev ns));
     let visits = Hashtbl.create (2 * n) in
     while not (Queue.is_empty queue) do
-      let l = Queue.take queue in
-      Hashtbl.remove queued l;
-      let b = Hashtbl.find by_label l in
+      let nd = Queue.take queue in
+      Hashtbl.remove queued nd;
       (* the side fed to [transfer]: in for forward, out for backward *)
       let neighbour_facts =
         match D.direction with
         | Forward ->
-          (try Hashtbl.find preds l with Not_found -> [])
+          D.G.preds g nd
           |> List.filter_map (fun p -> Hashtbl.find_opt out_facts p)
         | Backward ->
-          successors b.term
+          D.G.succs g nd
           |> List.filter_map (fun s -> Hashtbl.find_opt in_facts s)
       in
-      let at_boundary =
-        match D.direction with
-        | Forward -> l = entry
-        | Backward -> successors b.term = []
-      in
-      let seed = if at_boundary then D.boundary f else D.bottom f in
+      let seed = if D.is_boundary g nd then D.boundary g else D.bottom g in
       let joined = List.fold_left D.join seed neighbour_facts in
       let stored_input, stored_output =
         match D.direction with
-        | Forward -> (Hashtbl.find in_facts l, Hashtbl.find out_facts l)
-        | Backward -> (Hashtbl.find out_facts l, Hashtbl.find in_facts l)
+        | Forward -> (Hashtbl.find in_facts nd, Hashtbl.find out_facts nd)
+        | Backward -> (Hashtbl.find out_facts nd, Hashtbl.find in_facts nd)
       in
-      let v = try Hashtbl.find visits l with Not_found -> 0 in
-      Hashtbl.replace visits l (v + 1);
+      let v = try Hashtbl.find visits nd with Not_found -> 0 in
+      Hashtbl.replace visits nd (v + 1);
       let input =
         if v >= widen_delay then D.widen stored_input joined else joined
       in
-      let output = D.transfer f b input in
+      let output = D.transfer g nd input in
       (match D.direction with
-      | Forward -> Hashtbl.replace in_facts l input
-      | Backward -> Hashtbl.replace out_facts l input);
+      | Forward -> Hashtbl.replace in_facts nd input
+      | Backward -> Hashtbl.replace out_facts nd input);
       if not (D.equal output stored_output) then begin
         (match D.direction with
-        | Forward -> Hashtbl.replace out_facts l output
-        | Backward -> Hashtbl.replace in_facts l output);
+        | Forward -> Hashtbl.replace out_facts nd output
+        | Backward -> Hashtbl.replace in_facts nd output);
         let dependents =
           match D.direction with
-          | Forward -> successors b.term
-          | Backward -> ( try Hashtbl.find preds l with Not_found -> [])
+          | Forward -> D.G.succs g nd
+          | Backward -> D.G.preds g nd
         in
         List.iter push dependents
       end
     done;
     (in_facts, out_facts)
+end
+
+module Make (D : DOMAIN) = struct
+  type fact = D.t
+
+  (* [Vir.Ir] functions viewed as a graph of block labels.  Successor
+     lists come straight from the terminators — including labels that do
+     not name a block, which the engine's membership check then ignores,
+     exactly as the pre-generic solver did. *)
+  type graph = {
+    f : func;
+    by_label : (int, block) Hashtbl.t;
+    preds : (int, int list) Hashtbl.t;
+    entry : int;
+  }
+
+  module G = struct
+    type t = graph
+    type node = int
+
+    let nodes g = List.map (fun b -> b.label) g.f.blocks
+    let succs g l = successors (Hashtbl.find g.by_label l).term
+    let preds g l = try Hashtbl.find g.preds l with Not_found -> []
+  end
+
+  module GD = struct
+    module G = G
+
+    type t = D.t
+
+    let direction = D.direction
+    let boundary (g : graph) = D.boundary g.f
+
+    let is_boundary (g : graph) l =
+      match D.direction with
+      | Forward -> l = g.entry
+      | Backward -> G.succs g l = []
+
+    let bottom (g : graph) = D.bottom g.f
+    let equal = D.equal
+    let join = D.join
+    let widen = D.widen
+
+    let transfer (g : graph) l input =
+      D.transfer g.f (Hashtbl.find g.by_label l) input
+  end
+
+  module S = Make_graph (GD)
+
+  let solve (f : func) : (int, fact) Hashtbl.t * (int, fact) Hashtbl.t =
+    let by_label = Hashtbl.create (2 * List.length f.blocks) in
+    List.iter (fun b -> Hashtbl.replace by_label b.label b) f.blocks;
+    let entry = match f.blocks with b :: _ -> b.label | [] -> -1 in
+    S.solve { f; by_label; preds = predecessors f; entry }
 end
 
 (* ------------------------------------------------------------------ *)

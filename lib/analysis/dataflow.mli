@@ -1,0 +1,210 @@
+(** Deterministic worklist dataflow solver.
+
+    The engine ({!Make_graph}) is generic over a directed graph: a client
+    provides node enumeration in layout order plus successor/predecessor
+    edges, and a lattice ([bottom]/[join]/[equal], with [widen] for
+    infinite-height domains) with a per-node [transfer] function.  The
+    solver seeds a FIFO worklist in layout order (reverse layout order
+    for backward problems) and iterates to a fixpoint, so two runs over
+    the same graph produce identical tables — the fitness pipeline
+    depends on byte-identical results at any worker count.
+
+    {!Make} specializes the engine to [Vir.Ir] functions (nodes are block
+    labels); [Binsight.Features] reuses {!Make_graph} directly over
+    recovered binary CFGs (nodes are basic-block addresses).
+
+    [solve] returns two tables, [(in_facts, out_facts)]: the fact at
+    node entry and at node exit, regardless of direction.  For a
+    backward problem the solver computes [out] by joining successor
+    [in]s and obtains [in] by transfer; for a forward problem it is the
+    mirror image. *)
+
+module Iset : Set.S with type elt = int
+module Imap : Map.S with type key = int
+
+type direction = Forward | Backward
+
+(** Lattice + transfer over [Vir.Ir] functions (the historical client
+    interface, consumed by {!Make}). *)
+module type DOMAIN = sig
+  type t
+
+  val direction : direction
+
+  val boundary : Vir.Ir.func -> t
+  (** Fact at the CFG boundary: function entry for a forward problem,
+      every exit block (no successors) for a backward one. *)
+
+  val bottom : Vir.Ir.func -> t
+  (** Initial fact for every block; must be the identity of [join]. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** [widen old_input new_input] replaces [join] once a block's input
+      has been recomputed {!widen_delay} times; must over-approximate
+      both arguments and stabilize infinite ascending chains.
+      Finite-height domains simply reuse [join]. *)
+
+  val transfer : Vir.Ir.func -> Vir.Ir.block -> t -> t
+end
+
+val widen_delay : int
+(** Number of visits of one node before [widen] replaces plain joining. *)
+
+(** Abstract directed graph the generic engine iterates over. *)
+module type GRAPH = sig
+  type t
+
+  type node
+  (** Node identifiers are used as hash-table keys, so they should be
+      small immutable values (labels, addresses) with structural
+      equality. *)
+
+  val nodes : t -> node list
+  (** All nodes in layout order.  Forward problems seed the worklist in
+      this order, backward problems in reverse; facts are computed only
+      for listed nodes.  Edges to nodes outside this list are ignored. *)
+
+  val succs : t -> node -> node list
+  val preds : t -> node -> node list
+end
+
+(** Lattice + transfer over an abstract {!GRAPH}. *)
+module type GRAPH_DOMAIN = sig
+  module G : GRAPH
+
+  type t
+
+  val direction : direction
+
+  val boundary : G.t -> t
+  (** Fact seeded at boundary nodes (see {!is_boundary}). *)
+
+  val is_boundary : G.t -> G.node -> bool
+  (** Whether the node receives the {!boundary} seed in addition to its
+      neighbours' facts — entry node(s) for a forward problem, exit
+      nodes for a backward one. *)
+
+  val bottom : G.t -> t
+  (** Initial fact for every node; must be the identity of [join]. *)
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val transfer : G.t -> G.node -> t -> t
+end
+
+(** Generic fixpoint engine over any {!GRAPH_DOMAIN}. *)
+module Make_graph (D : GRAPH_DOMAIN) : sig
+  type fact = D.t
+
+  val solve :
+    D.G.t -> (D.G.node, fact) Hashtbl.t * (D.G.node, fact) Hashtbl.t
+end
+
+(** [Vir.Ir] instantiation: facts are indexed by block label. *)
+module Make (D : DOMAIN) : sig
+  type fact = D.t
+
+  val solve : Vir.Ir.func -> (int, fact) Hashtbl.t * (int, fact) Hashtbl.t
+end
+
+val liveness_solver :
+  uses:(Vir.Ir.instr -> int list) ->
+  def:(Vir.Ir.instr -> int option) ->
+  term_uses:(Vir.Ir.terminator -> int list) ->
+  Vir.Ir.func ->
+  (int, Iset.t) Hashtbl.t * (int, Iset.t) Hashtbl.t
+(** Backward liveness parameterized over use/def extraction (scalar and
+    vector registers live in separate namespaces; lint reuses it for
+    frame slots).  Block-level use/def summaries are precomputed once per
+    call so huge straight-line blocks stay linear. *)
+
+(** Scalar-register liveness; [Loop_branch] counters count as uses. *)
+module Liveness : sig
+  val solve :
+    Vir.Ir.func -> (int, Iset.t) Hashtbl.t * (int, Iset.t) Hashtbl.t
+end
+
+(** Vector-register liveness. *)
+module Vliveness : sig
+  val solve :
+    Vir.Ir.func -> (int, Iset.t) Hashtbl.t * (int, Iset.t) Hashtbl.t
+end
+
+(** Forward dominator analysis: [solve f] maps each reachable block
+    label to the set of labels dominating it (including itself);
+    unreachable blocks stay at the full label set. *)
+module Dominators : sig
+  val solve : Vir.Ir.func -> (int, Iset.t) Hashtbl.t
+end
+
+(** Reaching definitions.  A definition site is
+    [(block label, instruction index, register)]; parameters enter as
+    sites [(-1, param index, register)].  A register with no reaching
+    definition reads as 0. *)
+module Reaching : sig
+  module Site : sig
+    type t = int * int * int
+
+    val compare : t -> t -> int
+  end
+
+  module Sset : Set.S with type elt = Site.t
+
+  val solve :
+    Vir.Ir.func -> (int, Sset.t) Hashtbl.t * (int, Sset.t) Hashtbl.t
+end
+
+(** Conditional constant propagation facts (flat lattice per register;
+    the solver's reachability component makes it SCCP-grade: facts from
+    unreached blocks stay [Unreached]). *)
+module Constprop : sig
+  type cval = Const of int | Top
+
+  type t = Unreached | Env of cval Imap.t
+  (** Inside [Env], an absent register means "still holds its initial
+      0"; the canonical form never stores [Const 0]. *)
+
+  val lookup : cval Imap.t -> int -> cval
+  val set : cval Imap.t -> int -> cval -> cval Imap.t
+  val join_cval : cval -> cval -> cval
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val operand : cval Imap.t -> Vir.Ir.operand -> cval
+  val eval_instr : cval Imap.t -> Vir.Ir.instr -> cval Imap.t
+  val solve : Vir.Ir.func -> (int, t) Hashtbl.t * (int, t) Hashtbl.t
+end
+
+(** Integer interval analysis (forward, widened after {!widen_delay}
+    visits).  [min_int]/[max_int] double as -∞/+∞; all arithmetic
+    saturates. *)
+module Interval : sig
+  type itv = { lo : int; hi : int }
+
+  val top : itv
+  val const : int -> itv
+  val zero : itv
+  val is_top : itv -> bool
+  val add : itv -> itv -> itv
+  val neg : itv -> itv
+  val sub : itv -> itv -> itv
+  val mul : itv -> itv -> itv
+  val hull : itv -> itv -> itv
+  val bool_itv : itv
+  val eval_bin : Vir.Ir.binop -> itv -> itv -> itv
+
+  type t = Unreached | Env of itv Imap.t
+  (** As in {!Constprop}: an absent register is exactly 0. *)
+
+  val lookup : itv Imap.t -> int -> itv
+  val set : itv Imap.t -> int -> itv -> itv Imap.t
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val equal : t -> t -> bool
+  val operand : itv Imap.t -> Vir.Ir.operand -> itv
+  val eval_instr : itv Imap.t -> Vir.Ir.instr -> itv Imap.t
+  val solve : Vir.Ir.func -> (int, t) Hashtbl.t * (int, t) Hashtbl.t
+end

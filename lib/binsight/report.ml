@@ -1,0 +1,162 @@
+(* One-stop binary inspection: verified disassembly + gadget census +
+   static features, rendered as deterministic JSON (field order and
+   float formatting are fixed by [Util.Json], so reports golden-digest
+   cleanly) or as a human summary for the CLI. *)
+
+module J = Util.Json
+
+type t = {
+  r_bench : string;
+  r_preset : string;
+  r_bin : Isa.Binary.t;
+  r_disasm : Disasm.t;
+  r_gadgets : Gadgets.census;
+  r_features : Features.t;
+}
+
+let inspect ?(bench = "") ?(preset = "") ?(gadget_k = Gadgets.default_k)
+    ?ground_truth (bin : Isa.Binary.t) : t =
+  Telemetry.with_span
+    ~attrs:
+      [
+        ("arch", Isa.Insn.arch_name bin.arch);
+        ("bench", bench);
+        ("preset", preset);
+      ]
+    "binsight.inspect"
+    (fun () ->
+      let r_disasm = Disasm.recover ?ground_truth bin in
+      let r_gadgets = Gadgets.census ~k:gadget_k bin in
+      let r_features = Features.extract bin r_disasm in
+      { r_bench = bench; r_preset = preset; r_bin = bin; r_disasm; r_gadgets;
+        r_features })
+
+let mismatch_count (r : t) = List.length r.r_disasm.mismatches
+
+let stack_json = function
+  | Features.Finite n -> J.Int n
+  | Features.Unbounded -> J.Null
+
+let to_json (r : t) : J.t =
+  let bin = r.r_bin in
+  let d = r.r_disasm in
+  let g = r.r_gadgets in
+  let f = r.r_features in
+  J.Obj
+    [
+      ("bench", J.Str r.r_bench);
+      ("preset", J.Str r.r_preset);
+      ("arch", J.Str (Isa.Insn.arch_name bin.arch));
+      ("profile", J.Str bin.profile);
+      ("opt_label", J.Str bin.opt_label);
+      ( "size",
+        J.Obj
+          [
+            ("text", J.Int (String.length bin.text));
+            ("data", J.Int (String.length bin.data));
+            ("total", J.Int (Isa.Binary.size bin));
+          ] );
+      ( "disasm",
+        J.Obj
+          [
+            ("functions", J.Int (List.length d.funcs));
+            ("insns", J.Int d.total_insns);
+            ("unreachable_bytes", J.Int d.total_unreachable);
+            ("mismatches", J.Int (List.length d.mismatches));
+            ( "mismatch_details",
+              J.List
+                (List.map
+                   (fun (m : Disasm.mismatch) ->
+                     J.Obj
+                       [
+                         ("func", J.Str m.m_func);
+                         ("addr", J.Int m.m_addr);
+                         ("kind", J.Str m.m_kind);
+                         ("detail", J.Str m.m_detail);
+                       ])
+                   d.mismatches) );
+          ] );
+      ( "gadgets",
+        J.Obj
+          [
+            ("k", J.Int g.c_k);
+            ("sites", J.Int g.c_sites);
+            ("unique", J.Int (List.length g.c_unique));
+            ( "by_class",
+              J.Obj
+                [
+                  ("ret", J.Int g.c_ret);
+                  ("jump", J.Int g.c_jump);
+                  ("call", J.Int g.c_call);
+                ] );
+            ( "per_function",
+              J.List
+                (List.map
+                   (fun (name, sites, density) ->
+                     J.Obj
+                       [
+                         ("name", J.Str name);
+                         ("sites", J.Int sites);
+                         ("density", J.Float density);
+                       ])
+                   g.c_per_function) );
+          ] );
+      ( "features",
+        J.Obj
+          [
+            ("insn_count", J.Int f.Features.insn_count);
+            ( "opcode_histogram",
+              J.List
+                (Array.to_list (Array.map (fun n -> J.Int n) f.histogram)) );
+            ( "dead_functions",
+              J.List (List.map (fun n -> J.Str n) f.dead_functions) );
+            ("dead_bytes", J.Int f.dead_bytes);
+            ( "functions",
+              J.List
+                (List.map
+                   (fun (ff : Features.func_features) ->
+                     J.Obj
+                       [
+                         ("name", J.Str ff.ff_name);
+                         ("addr", J.Int ff.ff_addr);
+                         ("len", J.Int ff.ff_len);
+                         ("insns", J.Int ff.ff_insns);
+                         ("blocks", J.Int ff.ff_blocks);
+                         ("reachable", J.Bool ff.ff_reachable);
+                         ("stack_words", stack_json ff.ff_stack);
+                       ])
+                   f.per_function) );
+            ( "provenance",
+              J.List
+                (Array.to_list (Array.map (fun x -> J.Float x) f.provenance))
+            );
+          ] );
+    ]
+
+let summary (r : t) : string =
+  let bin = r.r_bin in
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let label =
+    if r.r_bench = "" then Isa.Insn.arch_name bin.arch
+    else Printf.sprintf "%s %s %s" r.r_bench (Isa.Insn.arch_name bin.arch)
+           (if r.r_preset = "" then bin.opt_label else r.r_preset)
+  in
+  line "%s: %d bytes text, %d functions, %d insns" label
+    (String.length bin.text)
+    (Array.length bin.functions)
+    r.r_disasm.total_insns;
+  line "  disasm: %d mismatches, %d unreachable bytes"
+    (mismatch_count r) r.r_disasm.total_unreachable;
+  line "  gadgets(k=%d): %d sites, %d unique (ret %d / jump %d / call %d)"
+    r.r_gadgets.c_k r.r_gadgets.c_sites
+    (List.length r.r_gadgets.c_unique)
+    r.r_gadgets.c_ret r.r_gadgets.c_jump r.r_gadgets.c_call;
+  line "  dead: %d functions, %d bytes"
+    (List.length r.r_features.dead_functions)
+    r.r_features.dead_bytes;
+  List.iter
+    (fun (m : Disasm.mismatch) ->
+      line "  MISMATCH %s@%d [%s] %s" m.m_func m.m_addr m.m_kind m.m_detail)
+    r.r_disasm.mismatches;
+  Buffer.contents b

@@ -1,0 +1,29 @@
+(** One-stop binary inspection: verified disassembly + gadget census +
+    static features, rendered as deterministic JSON (golden-digest
+    stable) or as a human summary.  Emits [binsight.*] telemetry spans
+    and counters. *)
+
+type t = {
+  r_bench : string;
+  r_preset : string;
+  r_bin : Isa.Binary.t;
+  r_disasm : Disasm.t;
+  r_gadgets : Gadgets.census;
+  r_features : Features.t;
+}
+
+val inspect :
+  ?bench:string ->
+  ?preset:string ->
+  ?gadget_k:int ->
+  ?ground_truth:(string, int list) Hashtbl.t ->
+  Isa.Binary.t ->
+  t
+
+val mismatch_count : t -> int
+
+val to_json : t -> Util.Json.t
+
+val summary : t -> string
+(** Multi-line human rendering, one trailing newline; lists every
+    mismatch explicitly. *)

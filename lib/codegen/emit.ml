@@ -954,10 +954,14 @@ let layout_function arch items ~base =
     items;
   (labels, !off - base)
 
-let assemble_function arch items ~base =
+(* [on_insn] receives the text offset of every emitted instruction start
+   (alignment nops included) — the ground-truth boundary oracle the
+   binsight disassembly differential checks against. *)
+let assemble_function ?on_insn arch items ~base =
   let labels, _ = layout_function arch items ~base in
   let buf = Buffer.create 1024 in
   let nop_len = Isa.Codec.encoded_length arch Inop in
+  let note o = match on_insn with Some f -> f o | None -> () in
   let off = ref base in
   List.iter
     (fun item ->
@@ -967,15 +971,17 @@ let assemble_function arch items ~base =
         let pad = (n - (!off mod n)) mod n in
         let nops = (pad + nop_len - 1) / nop_len in
         for _ = 1 to nops do
-          Buffer.add_string buf (Isa.Codec.encode arch Inop)
-        done;
-        off := !off + (nops * nop_len)
+          note !off;
+          Buffer.add_string buf (Isa.Codec.encode arch Inop);
+          off := !off + nop_len
+        done
       | Ins i ->
         let resolve l =
           match Hashtbl.find_opt labels l with
           | Some o -> o
           | None -> errorf "assemble: undefined label %d" l
         in
+        note !off;
         let encoded = Isa.Codec.encode ~at:!off arch (retarget resolve i) in
         Buffer.add_string buf encoded;
         off := !off + String.length encoded)
@@ -986,8 +992,8 @@ let assemble_function arch items ~base =
 (* Whole-program compilation                                           *)
 (* ------------------------------------------------------------------ *)
 
-let compile_program ?(options = default_options) ~arch ~profile ~opt_label
-    (p : Ir.program) =
+let compile_program ?(options = default_options) ?boundaries ~arch ~profile
+    ~opt_label (p : Ir.program) =
   let opts = options in
   (* data layout *)
   let syms = Hashtbl.create 16 in
@@ -1038,7 +1044,16 @@ let compile_program ?(options = default_options) ~arch ~profile ~opt_label
         ignore nop_len
       done;
       let base = Buffer.length text in
-      let code = assemble_function arch items ~base in
+      let offs = ref [] in
+      let on_insn =
+        match boundaries with
+        | None -> None
+        | Some _ -> Some (fun o -> offs := o :: !offs)
+      in
+      let code = assemble_function ?on_insn arch items ~base in
+      (match boundaries with
+      | Some tbl -> Hashtbl.replace tbl f.Ir.fname (List.rev !offs)
+      | None -> ());
       Buffer.add_string text code;
       functions := (f.Ir.fname, base, String.length code) :: !functions)
     p.funcs;

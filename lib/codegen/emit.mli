@@ -41,11 +41,15 @@ exception Error of string
 
 val compile_program :
   ?options:options ->
+  ?boundaries:(string, int list) Hashtbl.t ->
   arch:Isa.Insn.arch ->
   profile:string ->
   opt_label:string ->
   Vir.Ir.program ->
   Isa.Binary.t
 (** Generate a complete binary.  The input program must contain [main].
-    Raises {!Error} on malformed IR (unknown callee, vector register
-    pressure beyond the hardware, …). *)
+    When [boundaries] is given, each function name is mapped to the
+    ascending text offsets of its instruction starts (alignment nops
+    included) — the ground-truth oracle for the binsight disassembly
+    differential.  Raises {!Error} on malformed IR (unknown callee,
+    vector register pressure beyond the hardware, …). *)

@@ -159,4 +159,13 @@ let analyze_function t fid =
   { f_name = name; f_id = fid; f_addr = addr; f_insns = insns; f_blocks; f_calls }
 
 let analyze t =
-  List.init (Array.length t.functions) (fun fid -> analyze_function t fid)
+  Telemetry.with_span
+    ~attrs:
+      [
+        ("arch", Insn.arch_name t.arch);
+        ("functions", string_of_int (Array.length t.functions));
+      ]
+    "isa.binary.analyze"
+    (fun () ->
+      Telemetry.add_count "isa.binary.analyze";
+      List.init (Array.length t.functions) (fun fid -> analyze_function t fid))

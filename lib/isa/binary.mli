@@ -41,6 +41,11 @@ type bfunc = {
   f_calls : int list;  (** callee function ids, static *)
 }
 
+val flow : Insn.insn -> next:int -> int list * bool
+(** Control transfers out of an instruction located just before [next],
+    as [(branch targets, falls_through)].  Calls fall through (the
+    callee returns); [Iret]/[Ijmpf] end the flow. *)
+
 val analyze : t -> bfunc list
 (** Disassemble and reconstruct every function's CFG. *)
 

@@ -8,33 +8,12 @@ type model = {
   mutable threshold : float;
 }
 
-let nfeat = Diffing.Bcode.n_opcode_classes + 8
+(* The feature extractor lives in the binary static-analysis layer; the
+   classifier consumes it unchanged (the vector is bit-identical to the
+   historical in-module one, so trained accuracy is unaffected). *)
+let nfeat = Binsight.Features.n_provenance
 
-let features (bin : Isa.Binary.t) =
-  let v = Array.make nfeat 0.0 in
-  let insns = Isa.Codec.decode_all bin.arch bin.text in
-  let n = max 1 (List.length insns) in
-  List.iter
-    (fun (_, i) ->
-      let k = Diffing.Bcode.opcode_class i in
-      v.(k) <- v.(k) +. 1.0;
-      let extra = Diffing.Bcode.n_opcode_classes in
-      match i with
-      | Isa.Insn.Inop -> v.(extra) <- v.(extra) +. 1.0  (* alignment pads *)
-      | Isa.Insn.Ijtab _ -> v.(extra + 1) <- v.(extra + 1) +. 1.0
-      | Isa.Insn.Iloop _ -> v.(extra + 2) <- v.(extra + 2) +. 1.0
-      | Isa.Insn.Icmov _ | Isa.Insn.Isetcc _ -> v.(extra + 3) <- v.(extra + 3) +. 1.0
-      | Isa.Insn.Ivalu _ | Isa.Insn.Ivld _ | Isa.Insn.Ivst _ ->
-        v.(extra + 4) <- v.(extra + 4) +. 1.0
-      | Isa.Insn.Ipush (Isa.Insn.Oreg r) when r = Isa.Insn.fp ->
-        v.(extra + 5) <- v.(extra + 5) +. 1.0  (* frame-pointer prologues *)
-      | Isa.Insn.Icallr _ -> v.(extra + 6) <- v.(extra + 6) +. 1.0
-      | Isa.Insn.Iinc _ | Isa.Insn.Idec _ | Isa.Insn.Ixorz _ ->
-        v.(extra + 7) <- v.(extra + 7) +. 1.0  (* peephole idioms *)
-      | _ -> ())
-    insns;
-  (* normalize by instruction count *)
-  Array.map (fun x -> x /. float_of_int n) v
+let features = Binsight.Features.provenance_vector
 
 let distance a b =
   let d = ref 0.0 in

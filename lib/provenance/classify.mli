@@ -17,6 +17,8 @@ type label = {
 type model
 
 val features : Isa.Binary.t -> float array
+(** Alias of {!Binsight.Features.provenance_vector} — the classifier
+    trains on binsight-extracted features. *)
 
 val train : (label * Isa.Binary.t) list -> model
 (** Labelled presets only. *)

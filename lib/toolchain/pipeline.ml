@@ -305,8 +305,8 @@ let apply_passes ?verify ?(where = "") ?snapshot ?cache_seed:seed
 let codegen_options_digest config =
   Digest.string (Marshal.to_string (Config.codegen_options config) [])
 
-let compile ?(config = Config.o0) ?verify ?(flag_desc = "") ?snapshot ~arch
-    ~profile ~opt_label ast =
+let compile ?(config = Config.o0) ?verify ?(flag_desc = "") ?snapshot
+    ?boundaries ~arch ~profile ~opt_label ast =
   Telemetry.with_span
     ~attrs:
       [
@@ -325,7 +325,7 @@ let compile ?(config = Config.o0) ?verify ?(flag_desc = "") ?snapshot ~arch
         Telemetry.with_span "pass.codegen" (fun () ->
             Codegen.Emit.compile_program
               ~options:(Config.codegen_options config)
-              ~arch ~profile ~opt_label ir)
+              ?boundaries ~arch ~profile ~opt_label ir)
       in
       match snapshot with
       | None ->
@@ -350,8 +350,10 @@ let compile ?(config = Config.o0) ?verify ?(flag_desc = "") ?snapshot ~arch
         let restored =
           (* a verified build re-runs the gated pipeline end to end so the
              verifier actually sees IR; only the IR-stage snapshots (which
-             are verified on restore) may shorten it *)
-          if verify then None
+             are verified on restore) may shorten it.  A boundary-oracle
+             build must also run codegen for real — a restored binary
+             carries no instruction-boundary ground truth. *)
+          if verify || boundaries <> None then None
           else
             Option.map
               (fun data -> (Marshal.from_string data 0 : Isa.Binary.t))
@@ -370,20 +372,22 @@ let flag_vector_desc vector =
   ^ String.concat ""
       (List.map (fun b -> if b then "1" else "0") (Array.to_list vector))
 
-let compile_flags p ?(arch = Isa.Insn.X86_64) ?snapshot vector ast =
+let compile_flags p ?(arch = Isa.Insn.X86_64) ?snapshot ?boundaries vector ast
+    =
   let config = Flags.resolve p vector in
-  compile ~config ~flag_desc:(flag_vector_desc vector) ?snapshot ~arch
-    ~profile:p.Flags.profile_name ~opt_label:"custom" ast
+  compile ~config ~flag_desc:(flag_vector_desc vector) ?snapshot ?boundaries
+    ~arch ~profile:p.Flags.profile_name ~opt_label:"custom" ast
 
-let compile_preset p ?(arch = Isa.Insn.X86_64) ?snapshot name ast =
+let compile_preset p ?(arch = Isa.Insn.X86_64) ?snapshot ?boundaries name ast =
   match name with
   | "O0" ->
-    compile ~config:Config.o0 ?snapshot ~arch ~profile:p.Flags.profile_name
-      ~opt_label:"-O0" ast
+    compile ~config:Config.o0 ?snapshot ?boundaries ~arch
+      ~profile:p.Flags.profile_name ~opt_label:"-O0" ast
   | _ -> (
     match Flags.preset p name with
     | Some vector ->
       let config = Flags.resolve p vector in
-      compile ~config ~flag_desc:(flag_vector_desc vector) ?snapshot ~arch
-        ~profile:p.Flags.profile_name ~opt_label:("-" ^ name) ast
+      compile ~config ~flag_desc:(flag_vector_desc vector) ?snapshot
+        ?boundaries ~arch ~profile:p.Flags.profile_name
+        ~opt_label:("-" ^ name) ast
     | None -> invalid_arg ("Pipeline.compile_preset: unknown preset " ^ name))

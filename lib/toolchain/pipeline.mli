@@ -70,6 +70,7 @@ val compile :
   ?verify:bool ->
   ?flag_desc:string ->
   ?snapshot:snapshot_store ->
+  ?boundaries:(string, int list) Hashtbl.t ->
   arch:Isa.Insn.arch ->
   profile:string ->
   opt_label:string ->
@@ -82,12 +83,16 @@ val compile :
     options and labels — a full hit skips the pipeline entirely.  When
     verification is on the binary-level entry is bypassed (the verifier
     must see IR), but verified IR-stage snapshots still shorten the
-    pipeline. *)
+    pipeline.  With [boundaries], codegen always runs for real (the
+    binary-level cache entry is bypassed) and the table maps each
+    function to its ground-truth instruction-start offsets — see
+    {!Codegen.Emit.compile_program}. *)
 
 val compile_flags :
   Flags.profile ->
   ?arch:Isa.Insn.arch ->
   ?snapshot:snapshot_store ->
+  ?boundaries:(string, int list) Hashtbl.t ->
   bool array ->
   Minic.Ast.program ->
   Isa.Binary.t
@@ -98,6 +103,7 @@ val compile_preset :
   Flags.profile ->
   ?arch:Isa.Insn.arch ->
   ?snapshot:snapshot_store ->
+  ?boundaries:(string, int list) Hashtbl.t ->
   string ->
   Minic.Ast.program ->
   Isa.Binary.t

@@ -1,0 +1,82 @@
+(* Minimal deterministic JSON emitter.
+
+   The tree is built explicitly ([Obj] fields stay in the order given),
+   so the rendered bytes are a pure function of the value — golden-digest
+   tests over [bintuner_cli inspect] reports depend on that.  Emission
+   only; the repo's JSON consumers (CI gates) parse with jq/python. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g round-trips every finite double and is a valid JSON number;
+   non-finite values have no JSON spelling and become null *)
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else if Float.is_finite v then Printf.sprintf "%.17g" v
+  else "null"
+
+let add_to_buffer b v =
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float v -> Buffer.add_string b (float_repr v)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char b ',';
+          go item)
+        items;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, item) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\":";
+          go item)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  add_to_buffer b v;
+  Buffer.contents b
+
+let to_channel oc v =
+  let b = Buffer.create 4096 in
+  add_to_buffer b v;
+  Buffer.output_buffer oc b;
+  output_char oc '\n'

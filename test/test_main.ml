@@ -26,4 +26,5 @@ let () =
       ("vm", Test_vm.tests);
       ("obf", Test_obf.tests);
       ("corpus", Test_corpus.tests);
+      ("binsight", Test_binsight.tests);
     ]

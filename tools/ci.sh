@@ -27,18 +27,25 @@
 #      tools/lint_allowlist.txt, and a one-benchmark fig5 run with
 #      -verify (the between-pass verifier on the bench hot path) must
 #      succeed;
-#   8. strategy smoke gate — every registered search strategy (ga, hill,
+#   8. binary insight gate — `inspect --all --arch all` re-disassembles
+#      every corpus binary on every arch by recursive descent and the
+#      result must agree exactly with the linear sweep and with the
+#      compiler's exported ground-truth instruction boundaries (zero
+#      mismatches), and the emitted JSON reports must satisfy the
+#      report schema (counts coherent, 24-dim provenance vector,
+#      per-function feature rows matching the function count);
+#   9. strategy smoke gate — every registered search strategy (ga, hill,
 #      anneal, random, ensemble) must complete a small CLI tune within
 #      its evaluation budget, and the GA-through-the-framework table1 run
 #      is already pinned to the frozen greedy sentinel by step 4;
-#   9. search microbench smoke — the `search` experiment must emit a
+#  10. search microbench smoke — the `search` experiment must emit a
 #      parseable BENCH_search.json covering all five strategies, each
 #      within the declared budget with positive evals/sec, and the hill
 #      incremental-compilation ablation must report outcomes identical
 #      with the prefix store on, real snapshot hits, and an evals/sec
 #      speedup above 1 (the incremental-differential gate; the committed
 #      full-budget artifact records the >= 1.5x speedup).
-#  10. serve smoke gate — tools/serve_smoke.sh boots the `serve` daemon
+#  11. serve smoke gate — tools/serve_smoke.sh boots the `serve` daemon
 #      in stdin mode against a scratch persistent store, submits two
 #      identical jobs plus a `status` request, and asserts job 2 is
 #      served from the store (store_hits > 0, with the in-memory memo
@@ -163,6 +170,41 @@ echo "== ci: optimizer pass-fire smoke gate =="
 # the search universe
 dune exec bin/bintuner_cli.exe -- passfire \
   || { echo "ci: FAIL — an optimizer pass never fired on the corpus" >&2; exit 1; }
+
+echo "== ci: binary insight gate (verified disassembly over the corpus) =="
+# every corpus program on all four arches: the recursive descent, the
+# linear sweep and the compiler's ground-truth instruction boundaries
+# must agree exactly (the inspect command exits non-zero on any
+# mismatch), and the emitted JSON must satisfy the report schema
+inspect_json="$root/_build/inspect_ci.json"
+dune exec bin/bintuner_cli.exe -- inspect --all --arch all --preset O2 \
+    --json "$inspect_json" > /dev/null \
+  || { echo "ci: FAIL — inspect found disassembly mismatches" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq -e '(length >= 1)
+         and all(.[]; .disasm.mismatches == 0 and .disasm.insns > 0
+                      and .size.text > 0 and .gadgets.k >= 1
+                      and (.gadgets.unique >= .gadgets.by_class.ret)
+                      and ((.features.provenance | length) == 24)
+                      and ((.features.functions | length) == .disasm.functions))' \
+    "$inspect_json" >/dev/null \
+    || { echo "ci: FAIL — inspect JSON failed schema validation" >&2; exit 1; }
+else
+  python3 -c '
+import json, sys
+reports = json.load(open(sys.argv[1]))
+assert len(reports) >= 1
+for r in reports:
+    assert r["disasm"]["mismatches"] == 0, r["bench"]
+    assert r["disasm"]["insns"] > 0 and r["size"]["text"] > 0
+    assert r["gadgets"]["k"] >= 1
+    assert r["gadgets"]["unique"] >= r["gadgets"]["by_class"]["ret"]
+    assert len(r["features"]["provenance"]) == 24
+    assert len(r["features"]["functions"]) == r["disasm"]["functions"]
+' "$inspect_json" \
+    || { echo "ci: FAIL — inspect JSON failed schema validation" >&2; exit 1; }
+fi
+rm -f "$inspect_json"
 
 echo "== ci: ncd microbench smoke =="
 ncd_dir=$(mktemp -d)
