@@ -27,12 +27,16 @@ check:
 # the batched evaluation path, per-run evals/sec, and the hill
 # incremental-compilation off/on ablation, emitting BENCH_search.json)
 # from a scratch directory so the smoke numbers never clobber a committed
-# full-run artifact.
+# full-run artifact, and finally a tiny `pareto` run (the vector-fitness
+# engine end to end: ncd,gadgets tuning, Pareto fronts, BENCH_pareto.json
+# — the experiment exits non-zero if any front is mutually dominated).
 bench-smoke:
 	dune exec bench/main.exe -- -quick -j 2 table1
 	dune build bench/main.exe
 	tmp=$$(mktemp -d) && (cd $$tmp && $(CURDIR)/_build/default/bench/main.exe \
 	  -quick -j 2 -only 462.libquantum search) && rm -rf $$tmp
+	tmp=$$(mktemp -d) && (cd $$tmp && $(CURDIR)/_build/default/bench/main.exe \
+	  -quick -j 2 -only 462.libquantum pareto) && rm -rf $$tmp
 
 # The static-analysis gate: every pass of every compile in the sweep runs
 # under the IR verifier, then the MinC lint must report nothing beyond the

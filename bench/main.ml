@@ -686,7 +686,7 @@ let fig10 () =
         List.init nsample (fun k ->
             let e = entries.(min (k * stride) (Array.length entries - 1)) in
             let bin = Toolchain.Pipeline.compile_flags profile e.vector ast in
-            (e.ncd, binhunt bin o0))
+            (e.fitness.(0), binhunt bin o0))
       in
       let rec chunks = function
         | a :: b :: c :: d :: e :: f' :: rest ->
@@ -1010,7 +1010,7 @@ let run_strategy ?(seed = 77) ?(incremental = false) ?(ncd_bound = false)
         plateau_epsilon = 0.0 }
   in
   let outcome =
-    Search.run ~batch_fitness
+    Search.run_scalar ~batch_fitness
       ~notify_incumbent:(fun f -> incumbent := f)
       ~rng ~termination ~problem ~fitness
       (Search.of_name strategy_name)
@@ -1219,7 +1219,7 @@ let multiobj () =
           repair = Toolchain.Constraints.repair profile rng;
         }
       in
-      Search.run ~rng
+      Search.run_scalar ~rng
         ~termination:
           {
             Search.max_evaluations = 200;
@@ -1244,6 +1244,130 @@ let multiobj () =
     "  (the paper's Table 3 point: pure-NCD tuning sacrifices some of O3's speedup;
     \   weighting both objectives recovers it at a small difference cost)
 "
+
+(* ------------------------------------------------------------------ *)
+(* Pareto tuning: NCD vs gadget census (BENCH_pareto.json)             *)
+(* ------------------------------------------------------------------ *)
+
+(* The vector-fitness engine end to end: tune each benchmark × profile
+   under [ncd,gadgets] and report the non-dominated front the archive
+   kept — how much NCD a defender must give up to also shrink the
+   candidate's ROP-gadget surface.  The headline per run is the NCD
+   forfeited at a 50% gadget cut: best front NCD minus the best NCD
+   among front points whose gadget count is at most half the count at
+   the NCD-optimal point (the trade the paper's §7 "other objectives"
+   future work asks about).  Emits BENCH_pareto.json. *)
+let pareto_bench () =
+  print_string
+    (section "Pareto tuning: NCD vs gadget census (vector fitness engine)");
+  let objectives = Search.Objective.parse "ncd,gadgets" in
+  let benches =
+    let rec take n = function
+      | x :: tl when n > 0 -> x :: take (n - 1) tl
+      | _ -> []
+    in
+    take 3 (eval_set ())
+  in
+  let profiles = [ Toolchain.Flags.gcc; Toolchain.Flags.llvm ] in
+  let cases =
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun profile ->
+            let t0 = Unix.gettimeofday () in
+            let r =
+              Bintuner.Tuner.tune ~termination:!bench_termination ~pool:!pool
+                ~objectives ~profile bench
+            in
+            let wall = Unix.gettimeofday () -. t0 in
+            (* axis 0 is NCD; axis 1 is the negated gadget-census size,
+               so gadget count = -. fitness.(1) *)
+            let front =
+              List.map (fun (v, f) -> (v, f.(0), -.f.(1))) r.front
+            in
+            let best_ncd, gadgets_at_best =
+              List.fold_left
+                (fun (bn, bg) (_, n, g) -> if n > bn then (n, g) else (bn, bg))
+                (neg_infinity, infinity) front
+            in
+            let target = gadgets_at_best /. 2.0 in
+            let half_ncd =
+              List.fold_left
+                (fun acc (_, n, g) -> if g <= target then max acc n else acc)
+                neg_infinity front
+            in
+            let forfeit =
+              if half_ncd = neg_infinity then None
+              else Some (best_ncd -. half_ncd)
+            in
+            printf
+              "  %-18s %-9s front=%d  best NCD %.3f @ %.0f gadgets  %s  \
+               (%d evaluations, %.1fs)\n%!"
+              bench.Corpus.bname profile.Toolchain.Flags.profile_name
+              (List.length front) best_ncd gadgets_at_best
+              (match forfeit with
+              | Some d ->
+                Printf.sprintf "NCD given up at 50%% gadget cut: %.3f" d
+              | None -> "no front point reaches a 50% gadget cut")
+              r.iterations wall;
+            (bench, profile, r, front, best_ncd, gadgets_at_best, forfeit, wall))
+          profiles)
+      benches
+  in
+  (* gate: every front the archive returns must be mutually non-dominated *)
+  let all_non_dominated =
+    List.for_all
+      (fun (_, _, r, _, _, _, _, _) ->
+        Search.Pareto.is_non_dominated
+          (List.map (fun (v, f) -> (v, f)) r.Bintuner.Tuner.front))
+      cases
+  in
+  printf "  fronts mutually non-dominated: %b (gate: must be true)\n"
+    all_non_dominated;
+  let multi_point =
+    List.length
+      (List.filter (fun (_, _, _, front, _, _, _, _) ->
+           List.length front >= 2)
+         cases)
+  in
+  printf "  runs with a >=2-point front: %d of %d\n" multi_point
+    (List.length cases);
+  let oc = open_out "BENCH_pareto.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"objectives\": [\"ncd\", \"gadgets\"],\n";
+  out "  \"budget\": %d,\n" !bench_termination.Search.max_evaluations;
+  out "  \"runs\": [\n";
+  List.iteri
+    (fun i (bench, profile, (r : Bintuner.Tuner.result), front, best_ncd,
+            gadgets_at_best, forfeit, wall) ->
+      let points =
+        String.concat ","
+          (List.map
+             (fun (v, n, g) ->
+               Printf.sprintf "{\"vector\": %S, \"ncd\": %.4f, \"gadgets\": %.0f}"
+                 (Bintuner.Database.vector_to_string v) n g)
+             front)
+      in
+      out
+        "    {\"benchmark\": %S, \"profile\": %S, \"front_size\": %d, \
+         \"best_ncd\": %.4f, \"gadgets_at_best_ncd\": %.0f, \
+         \"ncd_forfeit_at_half_gadgets\": %s, \"evaluations\": %d, \
+         \"objective_memo_hits\": %d, \"objective_memo_misses\": %d, \
+         \"wall_seconds\": %.3f, \"front\": [%s]}%s\n"
+        bench.Corpus.bname profile.Toolchain.Flags.profile_name
+        (List.length front) best_ncd gadgets_at_best
+        (match forfeit with Some d -> Printf.sprintf "%.4f" d | None -> "null")
+        r.iterations r.objective_hits r.objective_misses wall points
+        (if i = List.length cases - 1 then "" else ","))
+    cases;
+  out "  ],\n";
+  out "  \"all_fronts_non_dominated\": %b,\n" all_non_dominated;
+  out "  \"runs_with_multi_point_front\": %d\n" multi_point;
+  out "}\n";
+  close_out oc;
+  printf "  wrote BENCH_pareto.json (%d runs)\n" (List.length cases);
+  if not all_non_dominated then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* NCD kernel microbenchmark (BENCH_ncd.json)                          *)
@@ -1623,6 +1747,7 @@ let experiments =
     ("serve", serve_bench);
     ("ablation", ablation);
     ("multiobj", multiobj);
+    ("pareto", pareto_bench);
     ("binsight", binsight);
     ("bechamel", bechamel);
   ]

@@ -163,10 +163,36 @@ let tune_cmd =
                 provably cannot beat the batch's incumbent fitness.  \
                 Preserves every batch's argmax but clamps sub-incumbent \
                 scores, so full-run trajectories of score-consuming \
-                strategies may differ from exhaustive evaluation.")
+                strategies may differ from exhaustive evaluation.  Ignored \
+                on multi-objective runs.")
+  in
+  let objective_conv =
+    let parse s =
+      match Search.Objective.parse s with
+      | spec -> Ok spec
+      | exception Invalid_argument m -> Error (`Msg m)
+    in
+    let print ppf spec =
+      Format.pp_print_string ppf (Search.Objective.to_string spec)
+    in
+    Arg.conv (parse, print)
+  in
+  let objective_arg =
+    Arg.(value
+         & opt objective_conv Search.Objective.default
+         & info [ "objective" ]
+             ~doc:
+               "Fitness axes with optional scalarization weights, \
+                comma-separated: $(b,ncd), $(b,gadgets) (negated gadget \
+                census), $(b,size) (negated code+data bytes), $(b,evasion) \
+                (provenance-classifier distance).  E.g. \
+                $(b,ncd,gadgets:0.5).  The default, $(b,ncd), is the \
+                historical scalar path, bit-identical to earlier releases; \
+                any other spec maintains a Pareto archive and reports the \
+                non-dominated front alongside the weighted-sum best.")
   in
   let run bench source profile arch lz_level iterations strategy jobs db trace
-      prof incremental ncd_bound =
+      prof incremental ncd_bound objectives =
     Compress.Lz.set_default_level lz_level;
     let _, b = load_program ~bench ~source in
     let p = profile_of profile in
@@ -184,12 +210,26 @@ let tune_cmd =
       Parallel.Pool.with_pool j (fun pool ->
           Bintuner.Tuner.tune ~arch:(arch_of arch) ~termination
             ~strategy:(Search.of_name strategy) ~pool ~incremental ~ncd_bound
-            ~profile:p b)
+            ~objectives ~profile:p b)
     in
     Printf.printf
       "tuned %s with %s [%s]: %d iterations, fitness NCD %.3f, functional %b\n"
       r.benchmark r.profile_name r.strategy r.iterations r.best_ncd
       r.functional_ok;
+    if not (Search.Objective.is_scalar_ncd objectives) then begin
+      Printf.printf "objectives: %s  best [%s]\n"
+        (String.concat "," r.objectives)
+        (String.concat " "
+           (List.map (Printf.sprintf "%.3f") (Array.to_list r.best_scores)));
+      Printf.printf "pareto front: %d points\n" (List.length r.front);
+      List.iter
+        (fun (v, f) ->
+          Printf.printf "  front %s [%s]\n"
+            (Bintuner.Database.vector_to_string v)
+            (String.concat " "
+               (List.map (Printf.sprintf "%.3f") (Array.to_list f))))
+        r.front
+    end;
     Printf.printf "compile memo: %d of %d compile requests served from cache (-j %d)\n"
       r.cache_hits (r.cache_hits + r.compilations) j;
     if incremental then
@@ -206,7 +246,9 @@ let tune_cmd =
     match db with
     | None -> ()
     | Some path ->
-      let existing = if Sys.file_exists path then Bintuner.Database.load path else [] in
+      let existing =
+        if Sys.file_exists path then Bintuner.Database.load path else []
+      in
       Bintuner.Database.save path
         (existing @ [ Bintuner.Database.of_result r p ]);
       Printf.printf "run appended to %s\n" path
@@ -214,7 +256,7 @@ let tune_cmd =
   Cmd.v (Cmd.info "tune" ~doc:"Run BinTuner's iterative compilation on a benchmark.")
     Term.(const run $ bench_arg $ source_arg $ profile_arg $ arch_arg
           $ lz_level_arg $ iterations $ strategy_arg $ jobs $ db $ trace $ prof
-          $ incremental $ ncd_bound)
+          $ incremental $ ncd_bound $ objective_arg)
 
 let serve_cmd =
   let jobs =

@@ -3,7 +3,8 @@ type run = {
   profile : string;
   arch : string;
   flag_names : string list;
-  entries : (bool array * float) list;
+  objectives : string list;
+  entries : (bool array * float array) list;
   best : bool array;
 }
 
@@ -14,7 +15,8 @@ let of_result (r : Tuner.result) (p : Toolchain.Flags.profile) =
     arch = Isa.Insn.arch_name r.arch;
     flag_names =
       Array.to_list (Array.map (fun f -> f.Toolchain.Flags.name) p.flags);
-    entries = List.map (fun e -> (e.Tuner.vector, e.Tuner.ncd)) r.database;
+    objectives = r.objectives;
+    entries = List.map (fun e -> (e.Tuner.vector, e.Tuner.fitness)) r.database;
     best = r.best_vector;
   }
 
@@ -68,8 +70,13 @@ let unescape_name s =
 (* Fitness values round-trip bit-exactly: %h is OCaml's lossless hex
    float notation, and [float_of_string] parses it alongside the %.6f
    decimals older database files carry (those stay what they were — six
-   digits was already all the old writer kept). *)
+   digits was already all the old writer kept).  A vector fitness is one
+   [%h] per axis, space-separated, in [objectives] order. *)
 let fitness_to_string f = Printf.sprintf "%h" f
+
+(* Legacy scalar files predate the [obj] line and carry exactly one
+   fitness per entry: they load as this single-axis spec. *)
+let legacy_objectives = [ "ncd" ]
 
 let test_write_failure : int option ref = ref None
 (* Test-only crash injection: [Some n] makes [save] raise after emitting
@@ -86,12 +93,16 @@ let emit write runs =
       write
         (Printf.sprintf "flags %s\n"
            (String.concat "," (List.map escape_name r.flag_names)));
+      write
+        (Printf.sprintf "obj %s\n"
+           (String.concat "," (List.map escape_name r.objectives)));
       write (Printf.sprintf "best %s\n" (vector_to_string r.best));
       List.iter
         (fun (v, f) ->
           write
             (Printf.sprintf "e %s %s\n" (vector_to_string v)
-               (fitness_to_string f)))
+               (String.concat " "
+                  (List.map fitness_to_string (Array.to_list f)))))
         r.entries;
       write "end\n")
     runs
@@ -122,7 +133,7 @@ let save path runs =
       Sys.rename tmp path;
       committed := true)
 
-let load path =
+let load ?objectives:expected path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -141,6 +152,7 @@ let load path =
                    profile = unescape_name profile;
                    arch = unescape_name arch;
                    flag_names = [];
+                   objectives = [];
                    entries = [];
                    best = [||];
                  }
@@ -160,18 +172,33 @@ let load path =
                             (String.split_on_char ',' names));
                    }
              | None -> failwith "Database: flags before run")
+           | [ "obj"; names ] -> (
+             match !current with
+             | Some r ->
+               if names = "" then failwith "Database: empty objective list";
+               current :=
+                 Some
+                   {
+                     r with
+                     objectives =
+                       List.map unescape_name (String.split_on_char ',' names);
+                   }
+             | None -> failwith "Database: obj before run")
            | [ "best"; v ] -> (
              match !current with
              | Some r -> current := Some { r with best = vector_of_string v }
              | None -> failwith "Database: best before run")
-           | [ "e"; v; f ] -> (
+           | "e" :: v :: (_ :: _ as fs) -> (
              match !current with
              | Some r ->
                current :=
                  Some
                    {
                      r with
-                     entries = (vector_of_string v, float_of_string f) :: r.entries;
+                     entries =
+                       ( vector_of_string v,
+                         Array.of_list (List.map float_of_string fs) )
+                       :: r.entries;
                    }
              | None -> failwith "Database: entry before run")
            | [ "end" ] -> (
@@ -189,6 +216,51 @@ let load path =
                in
                check_len "best" r.best;
                List.iter (fun (v, _) -> check_len "entry" v) r.entries;
+               (* a pre-vector file has no [obj] line: it is a scalar-NCD
+                  run and must carry exactly one fitness per entry *)
+               let r =
+                 if r.objectives <> [] then r
+                 else begin
+                   List.iter
+                     (fun (_, f) ->
+                       if Array.length f <> 1 then
+                         failwith
+                           (Printf.sprintf
+                              "Database: run %s/%s has no obj line but a \
+                               %d-axis fitness entry — file is corrupt"
+                              r.benchmark r.profile (Array.length f)))
+                     r.entries;
+                   { r with objectives = legacy_objectives }
+                 end
+               in
+               (* every fitness vector must agree with the declared axes:
+                  a silent arity mismatch would mis-scalarize on resume *)
+               let arity = List.length r.objectives in
+               List.iter
+                 (fun (_, f) ->
+                   if Array.length f <> arity then
+                     failwith
+                       (Printf.sprintf
+                          "Database: entry fitness arity %d <> %d objectives \
+                           (%s) in run %s/%s"
+                          (Array.length f) arity
+                          (String.concat "," r.objectives)
+                          r.benchmark r.profile))
+                 r.entries;
+               (* the caller tuning against a specific objective spec must
+                  not silently mix vectors that mean different things *)
+               (match expected with
+               | Some want when want <> r.objectives ->
+                 failwith
+                   (Printf.sprintf
+                      "Database: run %s/%s was tuned for objectives [%s] but \
+                       [%s] requested — refusing to mix fitness vectors of \
+                       different meaning (re-tune or point at a different \
+                       database file)"
+                      r.benchmark r.profile
+                      (String.concat "," r.objectives)
+                      (String.concat "," want))
+               | _ -> ());
                runs := { r with entries = List.rev r.entries } :: !runs;
                current := None
              | None -> failwith "Database: end before run")

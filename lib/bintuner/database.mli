@@ -12,7 +12,11 @@ type run = {
   profile : string;
   arch : string;
   flag_names : string list;
-  entries : (bool array * float) list;  (** (vector, fitness) *)
+  objectives : string list;
+      (** axis names fixing the meaning/order of every fitness vector;
+          [["ncd"]] for scalar runs and legacy files *)
+  entries : (bool array * float array) list;
+      (** (flag vector, objective vector) — arity = [objectives] *)
   best : bool array;
 }
 
@@ -30,28 +34,38 @@ val save : string -> run list -> unit
 (** Write runs to a file (overwrites).  Crash-safe: the contents go to a
     sibling [path ^ ".tmp"] file first and are renamed into place only
     once complete, so a writer dying mid-save leaves any existing
-    database intact.  Fitness values are serialized losslessly (OCaml's
-    [%h] hex float notation), so a save → load round-trip reproduces
-    every NCD double bit-exactly. *)
+    database intact.  Fitness vectors are serialized losslessly (one
+    [%h] hex float per axis, in [objectives] order), so a save → load
+    round-trip reproduces every double bit-exactly. *)
 
-val load : string -> run list
+val load : ?objectives:string list -> string -> run list
 (** Parse a database file.  Raises [Failure] on malformed input.
     Accepts both the lossless hex floats current files carry and the
-    fixed-point decimals of files written before the format change. *)
+    fixed-point decimals of files written before the format change;
+    files from before the multi-objective format (no [obj] line, one
+    fitness per entry) load with [objectives = ["ncd"]].  Every entry's
+    fitness arity must agree with the run's declared objectives, and —
+    when [?objectives] is given — the declared objectives must equal the
+    requested ones: a run tuned for different axes is rejected with a
+    clear error rather than silently mixing vectors whose components
+    mean different things. *)
 
 val test_write_failure : int option ref
 (** Test-only crash injection (the {!Toolchain.Pipeline.test_break}
     idiom): [Some n] makes {!save} raise after emitting [n] lines.  The
     atomic-save regression test uses it; leave [None] everywhere else. *)
 
-val lookup : run -> bool array -> float option
+val lookup : run -> bool array -> float array option
 (** [lookup r] builds a constant-time fitness index over [r]'s entries
-    (first occurrence wins) and returns a lookup function: [Some ncd] if
-    this exact flag vector was already evaluated in the run.  The
-    fitness-level memo layer for resumed or mined tuning databases —
-    repair-induced duplicate vectors hit it instead of recompiling. *)
+    (first occurrence wins) and returns a lookup function: the recorded
+    objective vector if this exact flag vector was already evaluated in
+    the run.  The fitness-level memo layer for resumed or mined tuning
+    databases — repair-induced duplicate vectors hit it instead of
+    recompiling. *)
 
 val flag_frequency : run -> (string * float) list
-(** For each flag, the fraction of the run's top-decile (by fitness)
-    vectors that enable it — the "which options matter" mining the paper
-    uses the database for, sorted descending. *)
+(** For each flag, the fraction of the run's top-decile (by fitness,
+    lexicographic on the vector — the first axis dominates, so scalar
+    runs rank exactly as before) vectors that enable it — the "which
+    options matter" mining the paper uses the database for, sorted
+    descending. *)

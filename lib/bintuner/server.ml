@@ -18,7 +18,8 @@
 
    Job parameters (all optional): bench=<corpus name> profile=gcc|llvm
    arch=x86-64|x86-32|arm|mips strategy=<registry name> budget=<max
-   evaluations> lz-level=<level> seed=<int>.  Blank lines and #-comments
+   evaluations> lz-level=<level> seed=<int>
+   objective=<axes, e.g. ncd,gadgets:0.5>.  Blank lines and #-comments
    are ignored.
 
    Jobs run sequentially on the daemon thread (the pool parallelizes
@@ -35,6 +36,7 @@ type job = {
   budget : int;
   lz_level : Compress.Lz.level;
   seed : int;
+  objective : Search.Objective.spec;
 }
 
 type job_summary = {
@@ -43,9 +45,12 @@ type job_summary = {
   profile : string;
   arch : string;
   strategy : string;
+  objectives : string list;
   iterations : int;
   best_ncd : float;
   best_vector : bool array;
+  best_scores : float array;
+  front : (bool array * float array) list;
   functional_ok : bool;
   wall_seconds : float;
   cache_hits : int;
@@ -56,6 +61,8 @@ type job_summary = {
   incr_misses : int;
   store_hits : int;
   store_misses : int;
+  objective_hits : int;
+  objective_misses : int;
 }
 
 type t = {
@@ -142,6 +149,7 @@ let parse_job t tokens =
   let budget = ref 500 in
   let lz_level = ref None in
   let seed = ref 1 in
+  let objective = ref Search.Objective.default in
   let bad = ref None in
   List.iter
     (fun tok ->
@@ -165,6 +173,10 @@ let parse_job t tokens =
         | "lz-level" | "lz_level" -> (
           match Compress.Lz.level_of_string v with
           | l -> lz_level := Some l
+          | exception Invalid_argument m -> bad := Some m)
+        | "objective" | "objectives" -> (
+          match Search.Objective.parse v with
+          | spec -> objective := spec
           | exception Invalid_argument m -> bad := Some m)
         | _ -> bad := Some ("unknown parameter " ^ k)))
     tokens;
@@ -198,12 +210,28 @@ let parse_job t tokens =
                   | Some l -> l
                   | None -> Compress.Lz.default_level ());
                 seed = !seed;
+                objective = !objective;
               }
           end)))
 
 (* ------------------------------------------------------------------ *)
 (* Running jobs                                                        *)
 (* ------------------------------------------------------------------ *)
+
+let jfloats k vs =
+  Printf.sprintf "\"%s\":%s" k
+    (arr (List.map (Printf.sprintf "%.17g") (Array.to_list vs)))
+
+let front_json front =
+  arr
+    (List.map
+       (fun (v, f) ->
+         obj
+           [
+             jstr "vector" (Database.vector_to_string v);
+             jfloats "fitness" f;
+           ])
+       front)
 
 let summary_fields s =
   [
@@ -212,9 +240,13 @@ let summary_fields s =
     jstr "profile" s.profile;
     jstr "arch" s.arch;
     jstr "strategy" s.strategy;
+    jstr "objectives" (String.concat "," s.objectives);
     jint "iterations" s.iterations;
     jfloat "best_ncd" s.best_ncd;
     jstr "best_vector" (Database.vector_to_string s.best_vector);
+    jfloats "best_scores" s.best_scores;
+    jint "front_size" (List.length s.front);
+    Printf.sprintf "\"front\":%s" (front_json s.front);
     jbool "functional_ok" s.functional_ok;
     jfloat "wall_seconds" s.wall_seconds;
     jint "cache_hits" s.cache_hits;
@@ -225,6 +257,8 @@ let summary_fields s =
     jint "incr_misses" s.incr_misses;
     jint "store_hits" s.store_hits;
     jint "store_misses" s.store_misses;
+    jint "objective_hits" s.objective_hits;
+    jint "objective_misses" s.objective_misses;
   ]
 
 let run_job t (j : job) =
@@ -247,8 +281,8 @@ let run_job t (j : job) =
                 { Search.default_termination with max_evaluations = j.budget }
               ~seed:j.seed
               ~strategy:(Search.of_name j.strategy)
-              ~session:t.session ~lz_level:j.lz_level ~profile:j.profile
-              j.bench))
+              ~session:t.session ~lz_level:j.lz_level ~objectives:j.objective
+              ~profile:j.profile j.bench))
   with
   | exception e ->
     Telemetry.add_count "serve.job_failed";
@@ -262,9 +296,12 @@ let run_job t (j : job) =
         profile = r.profile_name;
         arch = Isa.Insn.arch_name r.arch;
         strategy = r.strategy;
+        objectives = r.objectives;
         iterations = r.iterations;
         best_ncd = r.best_ncd;
         best_vector = r.best_vector;
+        best_scores = r.best_scores;
+        front = r.front;
         functional_ok = r.functional_ok;
         wall_seconds = r.wall_seconds;
         cache_hits = r.cache_hits;
@@ -275,6 +312,8 @@ let run_job t (j : job) =
         incr_misses = r.incr_misses;
         store_hits = r.store_hits;
         store_misses = r.store_misses;
+        objective_hits = r.objective_hits;
+        objective_misses = r.objective_misses;
       }
     in
     t.completed <- s :: t.completed;
@@ -341,6 +380,20 @@ let status_response t =
             ]);
        Printf.sprintf "\"sizecache\":%s"
          (obj [ jint "hits" sc_hits; jint "misses" sc_misses ]);
+       (* session-wide multi-objective traffic: per-axis memo counters
+          summed over every completed job (scalar-NCD jobs contribute 0) *)
+       Printf.sprintf "\"objective\":%s"
+         (obj
+            [
+              jint "hits"
+                (List.fold_left
+                   (fun acc s -> acc + s.objective_hits)
+                   0 t.completed);
+              jint "misses"
+                (List.fold_left
+                   (fun acc s -> acc + s.objective_misses)
+                   0 t.completed);
+            ]);
        Printf.sprintf "\"incremental\":%s"
          (obj
             [

@@ -10,9 +10,10 @@
     Requests: [submit k=v ...] (enqueue), [run] (drain the queue),
     [tune k=v ...] (submit + run), [status], [quit].  Job parameters:
     [bench], [profile], [arch], [strategy], [budget] (max evaluations),
-    [lz-level], [seed] — all optional.  Blank lines and [#] comments are
-    ignored; malformed requests get an [{"ok":false,...}] response and
-    never kill the daemon.
+    [lz-level], [seed], [objective] ({!Search.Objective.parse} grammar,
+    e.g. [objective=ncd,gadgets:0.5]) — all optional.  Blank lines and
+    [#] comments are ignored; malformed requests get an
+    [{"ok":false,...}] response and never kill the daemon.
 
     Jobs run sequentially on the daemon thread (parallelism lives inside
     each job, on the session's pool); every job runs under a
@@ -30,9 +31,12 @@ type job_summary = {
   profile : string;
   arch : string;
   strategy : string;
+  objectives : string list;  (** axis names, fitness-vector order *)
   iterations : int;
   best_ncd : float;
   best_vector : bool array;
+  best_scores : float array;  (** the best genome's objective vector *)
+  front : (bool array * float array) list;  (** the job's Pareto front *)
   functional_ok : bool;
   wall_seconds : float;
   cache_hits : int;
@@ -43,6 +47,8 @@ type job_summary = {
   incr_misses : int;
   store_hits : int;
   store_misses : int;
+  objective_hits : int;
+  objective_misses : int;
 }
 (** One completed job: the {!Tuner.result} essentials plus the per-job
     cache-counter deltas (see {!Tuner.result} for their meaning). *)

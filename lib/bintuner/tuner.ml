@@ -1,6 +1,6 @@
 type entry = {
   vector : bool array;
-  ncd : float;
+  fitness : float array;  (** objective vector, spec order *)
 }
 
 type result = {
@@ -8,9 +8,15 @@ type result = {
   profile_name : string;
   strategy : string;
   arch : Isa.Insn.arch;
+  objectives : string list;  (** axis names, vector order *)
   best_vector : bool array;
   best_binary : Isa.Binary.t;
-  best_ncd : float;
+  best_ncd : float;  (** scalarized best — exactly the NCD on the
+                         default 1-objective spec *)
+  best_scores : float array;  (** the best genome's raw objective vector *)
+  front : (bool array * float array) list;
+      (** Pareto front of (flag vector, objective vector); a singleton
+          on 1-objective runs *)
   refined_vector : bool array;
   refined_binary : Isa.Binary.t;
   preset_ncd : (string * float) list;
@@ -26,6 +32,8 @@ type result = {
   incr_misses : int;
   store_hits : int;
   store_misses : int;
+  objective_hits : int;  (** per-axis memo hits (0 on the scalar path) *)
+  objective_misses : int;
   database : entry list;
 }
 
@@ -62,8 +70,14 @@ let functional_check bench bin0 bin =
 let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
     ?(termination = Search.default_termination) ?(seed = 1) ?strategy ?pool
     ?session ?(memoize = true) ?(incremental = true) ?(ncd_bound = false)
-    ?lz_level ~(profile : Toolchain.Flags.profile) (bench : Corpus.benchmark) =
+    ?lz_level ?(objectives = Search.Objective.default)
+    ~(profile : Toolchain.Flags.profile) (bench : Corpus.benchmark) =
   let t0 = Unix.gettimeofday () in
+  if objectives = [] then invalid_arg "Tuner.tune: empty objective spec";
+  (* the paper's original problem — one NCD axis at unit weight — takes
+     the historical batched fast path below (incumbent early-exit and
+     all) and is bit-identical to the pre-vector tuner *)
+  let scalar_ncd = Search.Objective.is_scalar_ncd objectives in
   let strategy =
     match strategy with
     | Some s -> s
@@ -157,34 +171,90 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
             Store.store_binary st skey bin;
             bin))
   in
+  (* The multi-objective evaluator: per-axis memoized evaluation over
+     the compiled binary.  The [ncd] axis reuses this run's size cache
+     and baseline; the [evasion] axis trains the provenance adversary on
+     this profile's presets once, then scores each candidate by its
+     distance to the nearest preset centroid (further = more evasive). *)
+  let evaluator =
+    if scalar_ncd then None
+    else begin
+      let ncd_hook bin =
+        Compress.Ncd.distance_via ncd_cache (code_stream bin) baseline_stream
+      in
+      let evasion_hook =
+        if
+          not
+            (List.exists (fun (a, _) -> a = Search.Objective.Evasion) objectives)
+        then None
+        else begin
+          let labelled =
+            List.map
+              (fun name ->
+                ( {
+                    Provenance.Classify.profile = profile.profile_name;
+                    preset = name;
+                  },
+                  Toolchain.Pipeline.compile_preset profile ~arch ?snapshot name
+                    ast ))
+              [ "O0"; "O1"; "O2"; "O3"; "Os" ]
+          in
+          let model =
+            Telemetry.with_span "tuner.train_adversary" (fun () ->
+                Provenance.Classify.train labelled)
+          in
+          Some (fun bin -> snd (Provenance.Classify.classify model bin))
+        end
+      in
+      Some (Search.Objective.evaluator ~ncd:ncd_hook ?evasion:evasion_hook objectives)
+    end
+  in
   (* Pinned by the engine before each batch (never mid-batch), so the
      early-exit cap every worker prunes against is a pure function of
      the sequential search state. *)
   let incumbent = ref neg_infinity in
-  (* One generation's worth of candidates at a time: compile + NCD run in
-     parallel across the pool (each is a pure function of its vector),
-     then the iteration database is appended sequentially in input order
-     — the scheduling of the batch can never leak into the result. *)
+  (* One generation's worth of candidates at a time: compile + evaluation
+     run in parallel across the pool (each candidate's objective vector
+     is a pure function of its flag vector), then the iteration database
+     is appended sequentially in input order — the scheduling of the
+     batch can never leak into the result. *)
   let batch_fitness vectors =
-    let streams =
-      Parallel.Pool.map pool
-        (fun v ->
-          let bin = compile v in
-          code_stream bin)
-        vectors
-    in
-    let ncds =
-      Compress.Ncd.against ~pool ~span:"tuner.ncd"
-        ?incumbent:(if ncd_bound then Some !incumbent else None)
-        ~cache:ncd_cache ~baseline:baseline_stream streams
+    let vecs =
+      match evaluator with
+      | None ->
+        (* scalar-NCD fast path: batched pair compression with the
+           optional incumbent early-exit bound *)
+        let streams =
+          Parallel.Pool.map pool
+            (fun v ->
+              let bin = compile v in
+              code_stream bin)
+            vectors
+        in
+        let ncds =
+          Compress.Ncd.against ~pool ~span:"tuner.ncd"
+            ?incumbent:(if ncd_bound then Some !incumbent else None)
+            ~cache:ncd_cache ~baseline:baseline_stream streams
+        in
+        Array.map (fun n -> [| n |]) ncds
+      | Some ev ->
+        (* multi-objective: whole axis vectors per candidate, fanned
+           across the pool (the per-axis memos are mutex-guarded).  The
+           NCD early-exit bound stays off here — a pruned NCD is only an
+           upper bound, which would poison the Pareto archive. *)
+        Parallel.Pool.map pool
+          (fun v -> Search.Objective.evaluate ev (compile v))
+          vectors
     in
     Array.iteri
       (fun i v ->
-        database := { vector = Array.copy v; ncd = ncds.(i) } :: !database)
+        database := { vector = Array.copy v; fitness = vecs.(i) } :: !database)
       vectors;
-    ncds
+    vecs
   in
   let fitness vector = (batch_fitness [| vector |]).(0) in
+  let scalarize = Search.Objective.scalarize objectives in
+  let axis_names = Search.Objective.names objectives in
   let seeds =
     List.filter_map
       (fun name -> Toolchain.Flags.preset profile name)
@@ -200,7 +270,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
     in
     Search.run ~batch_fitness
       ~notify_incumbent:(fun f -> incumbent := f)
-      ~rng ~termination ~problem ~fitness strategy
+      ~scalarize ~axes:axis_names ~rng ~termination ~problem ~fitness strategy
   in
   (* Final selection: the GA typically ends with a set of near-tied best
      fitness values ("multiple different versions that all reveal the
@@ -210,7 +280,9 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
      output choice. *)
   let top_candidates =
     let sorted =
-      List.sort (fun a b -> compare b.ncd a.ncd) !database
+      List.sort
+        (fun a b -> compare (scalarize b.fitness) (scalarize a.fitness))
+        !database
     in
     let seen = Hashtbl.create 16 in
     let dedup =
@@ -239,7 +311,7 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
       List.map
         (fun v ->
           { vector = Toolchain.Constraints.repair profile rng (Array.copy v);
-            ncd = 0.0 })
+            fitness = Array.make (Search.Objective.arity objectives) 0.0 })
         seeds
     in
     top @ List.filteri (fun i _ -> i < 4) strata @ seed_entries
@@ -284,11 +356,14 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
     profile_name = profile.profile_name;
     strategy = Search.name strategy;
     arch;
+    objectives = axis_names;
     best_vector = outcome.best;
     best_binary;
     refined_vector;
     refined_binary;
     best_ncd = outcome.best_fitness;
+    best_scores = outcome.best_vector;
+    front = outcome.front;
     preset_ncd;
     iterations = outcome.evaluations;
     history = outcome.history;
@@ -310,5 +385,21 @@ let tune ?(arch = Isa.Insn.X86_64) ?(params = Search.Genetic.default_params)
       (match store with Some s -> Store.hits s - store_hits0 | None -> 0);
     store_misses =
       (match store with Some s -> Store.misses s - store_misses0 | None -> 0);
+    objective_hits =
+      (match evaluator with
+      | None -> 0
+      | Some ev ->
+        List.fold_left
+          (fun acc (_, h, _) -> acc + h)
+          0
+          (Search.Objective.memo_counts ev));
+    objective_misses =
+      (match evaluator with
+      | None -> 0
+      | Some ev ->
+        List.fold_left
+          (fun acc (_, _, m) -> acc + m)
+          0
+          (Search.Objective.memo_counts ev));
     database = List.rev !database;
   }

@@ -12,7 +12,9 @@
 
 type entry = {
   vector : bool array;
-  ncd : float;
+  fitness : float array;
+      (** objective vector in [objectives] order — a singleton [|ncd|]
+          on the default 1-objective spec *)
 }
 
 type result = {
@@ -20,11 +22,21 @@ type result = {
   profile_name : string;
   strategy : string;  (** registry name of the search strategy that ran *)
   arch : Isa.Insn.arch;
+  objectives : string list;
+      (** axis names fixing the order of every fitness vector here;
+          [["ncd"]] on the default spec *)
   best_vector : bool array;
       (** the highest-fitness vector — the paper's selection rule
           ("the iterations showing the highest fitness function score") *)
   best_binary : Isa.Binary.t;
-  best_ncd : float;  (** best fitness reached during the search *)
+  best_ncd : float;
+      (** best {e scalarized} fitness reached during the search —
+          exactly the best NCD on the default 1-objective spec *)
+  best_scores : float array;  (** the best genome's raw objective vector *)
+  front : (bool array * float array) list;
+      (** the Pareto front of (flag vector, objective vector) pairs,
+          fitness descending lexicographically; a singleton on
+          1-objective runs *)
   refined_vector : bool array;
       (** the BinHunt-verified pick among the top-fitness candidates,
           strata samples and the preset seeds (see DESIGN.md §5) — the
@@ -62,7 +74,12 @@ type result = {
           daemon's second job — the serve smoke gate checks exactly
           this. *)
   store_misses : int;  (** store lookups that found nothing servable *)
-  database : entry list;  (** every (vector, fitness) evaluated *)
+  objective_hits : int;
+      (** multi-objective per-axis memo hits summed over the run's
+          {!Search.Objective} evaluator (0 on the scalar-NCD path, which
+          caches in the size cache instead) *)
+  objective_misses : int;  (** per-axis memo misses — fresh evaluations *)
+  database : entry list;  (** every (vector, fitness vector) evaluated *)
 }
 
 val ncd_of_binaries : Isa.Binary.t -> Isa.Binary.t -> float
@@ -94,6 +111,7 @@ val tune :
   ?incremental:bool ->
   ?ncd_bound:bool ->
   ?lz_level:Compress.Lz.level ->
+  ?objectives:Search.Objective.spec ->
   profile:Toolchain.Flags.profile ->
   Corpus.benchmark ->
   result
@@ -143,7 +161,19 @@ val tune :
     improvement — are preserved exactly, but sub-incumbent score values
     are not, which perturbs strategies that consume loser scores (GA
     tournaments, annealing acceptance) and the recorded [database].
-    Leave off where bit-reproducibility of full runs matters. *)
+    Leave off where bit-reproducibility of full runs matters.  Ignored
+    on multi-objective runs — a pruned NCD is only an upper bound,
+    which would poison the Pareto archive.
+
+    [objectives] selects the fitness axes and their scalarization
+    weights ({!Search.Objective.parse} grammar: ["ncd,gadgets:0.5"]).
+    The default — NCD alone at unit weight — runs the historical
+    scalar path bit-identically.  Any other spec compiles each
+    candidate, evaluates every axis on the binary through per-axis
+    memos (one shared binsight inspection for [gadgets]/[size]; the
+    provenance adversary is trained on this profile's presets for
+    [evasion]), hands the engine the weighted-sum scalarization, and
+    returns the non-dominated [front] alongside the scalar best. *)
 
 val flags_enabled : Toolchain.Flags.profile -> bool array -> string list
 (** Names of the flags a vector enables. *)

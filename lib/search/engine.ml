@@ -5,16 +5,24 @@
    bookkeeping replayed sequentially in proposal order, the plateau
    window — lives here once, so every strategy gets the batched
    parallel/memoized evaluation path and the same termination semantics.
-   The bookkeeping is a line-for-line port of [Ga.Genetic.run]'s
-   tracker: with the GA strategy plugged in, [run] is bit-identical to
-   the old engine (locked by the frozen-GA differential test and the
+
+   Fitness is a vector (one component per {!Objective} axis); the engine
+   scalarizes every vector once at record time and runs all bookkeeping
+   — best, history, plateau — on the scalar, exactly as the float-only
+   engine did.  A passive {!Pareto} archive collects every evaluated
+   (genome, vector) pair; it consumes no randomness and feeds nothing
+   back into the strategies, so the 1-objective special case (identity
+   scalarization) is bit-identical to the pre-vector engine: with the GA
+   strategy plugged in, [run] still replays [Ga.Genetic.run]'s tracker
+   line for line (locked by the frozen-GA differential test and the
    table1 sentinel in tools/ci.sh). *)
 
 type tracker = {
-  cache : (string, float) Hashtbl.t;
+  cache : (string, Strategy.score) Hashtbl.t;
   mutable evals : int;
   mutable best : bool array;
   mutable best_fitness : float;
+  mutable best_vector : float array;
   mutable history_rev : (int * float) list;
   (* best fitness as of [evals - plateau_window] evaluations ago *)
   mutable recent : (int * float) list;  (** (eval index, best at that point) *)
@@ -29,7 +37,8 @@ type tracker = {
    into termination instead of a hang. *)
 let stale_generation_limit = 10_000
 
-let run ?batch_fitness ?(notify_incumbent = fun (_ : float) -> ()) ~rng
+let run ?batch_fitness ?(notify_incumbent = fun (_ : float) -> ())
+    ?(scalarize = fun (v : float array) -> v.(0)) ?(axes = []) ?archive ~rng
     ~termination ~problem ~fitness strategy =
   let open Strategy in
   let (module S : STRATEGY) = strategy in
@@ -38,6 +47,9 @@ let run ?batch_fitness ?(notify_incumbent = fun (_ : float) -> ()) ~rng
     | Some f -> f
     | None -> fun genomes -> Array.map fitness genomes
   in
+  let archive =
+    match archive with Some a -> a | None -> Pareto.create ()
+  in
   let pfx = "search." ^ S.name in
   let st =
     {
@@ -45,17 +57,21 @@ let run ?batch_fitness ?(notify_incumbent = fun (_ : float) -> ()) ~rng
       evals = 0;
       best = Array.make problem.ngenes false;
       best_fitness = neg_infinity;
+      best_vector = [||];
       history_rev = [];
       recent = [];
     }
   in
-  let record genome f =
-    Hashtbl.replace st.cache (genome_key genome) f;
+  let record genome vec =
+    let scalar = scalarize vec in
+    Hashtbl.replace st.cache (genome_key genome) { vec; scalar };
     st.evals <- st.evals + 1;
-    if f > st.best_fitness then begin
-      st.best_fitness <- f;
+    if scalar > st.best_fitness then begin
+      st.best_fitness <- scalar;
+      st.best_vector <- Array.copy vec;
       st.best <- Array.copy genome
     end;
+    ignore (Pareto.insert archive genome vec : bool);
     st.history_rev <- (st.evals, st.best_fitness) :: st.history_rev;
     st.recent <- (st.evals, st.best_fitness) :: st.recent
   in
@@ -117,7 +133,18 @@ let run ?batch_fitness ?(notify_incumbent = fun (_ : float) -> ()) ~rng
         let gain = (st.best_fitness -. old_best) /. old_best in
         Telemetry.set_gauge (pfx ^ ".plateau_gain") gain;
         gain < termination.plateau_epsilon
-      | Some (_, old_best) -> st.best_fitness <= old_best
+      | Some (_, old_best) ->
+        (* At a zero or negative incumbent the relative gain is
+           meaningless — division by zero, or a sign flip that makes
+           every improvement look like a loss — so fall back to
+           absolute gain: a window that fails to move the best by at
+           least epsilon is a plateau.  (The old engine required
+           [best <= old_best] here, so any infinitesimal improvement
+           reset the window and a negative-fitness search could crawl
+           forever; the positive branch above is untouched.) *)
+        let gain = st.best_fitness -. old_best in
+        Telemetry.set_gauge (pfx ^ ".plateau_gain") gain;
+        gain < termination.plateau_epsilon
       | None -> false
     end
   in
@@ -139,7 +166,14 @@ let run ?batch_fitness ?(notify_incumbent = fun (_ : float) -> ()) ~rng
           S.tell state ~rng ~genomes:population ~scores
         end);
     Telemetry.set_gauge (pfx ^ ".best_fitness") st.best_fitness;
-    Telemetry.set_gauge (pfx ^ ".evaluations") (float_of_int st.evals)
+    Telemetry.set_gauge (pfx ^ ".evaluations") (float_of_int st.evals);
+    List.iteri
+      (fun i ax ->
+        if i < Array.length st.best_vector then
+          Telemetry.set_gauge (pfx ^ ".best." ^ ax) st.best_vector.(i))
+      axes;
+    Telemetry.set_gauge "search.pareto.front_size"
+      (float_of_int (Pareto.size archive))
   in
   let continue_ () =
     (not !exhausted)
@@ -157,6 +191,8 @@ let run ?batch_fitness ?(notify_incumbent = fun (_ : float) -> ()) ~rng
   {
     best = st.best;
     best_fitness = st.best_fitness;
+    best_vector = st.best_vector;
     evaluations = st.evals;
     history = List.rev st.history_rev;
+    front = Pareto.front archive;
   }

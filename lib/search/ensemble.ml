@@ -18,7 +18,7 @@ type arm = {
   arm_tell :
     rng:Util.Rng.t ->
     genomes:bool array array ->
-    scores:float option array ->
+    scores:Strategy.score option array ->
     unit;
   mutable uses : int;
 }
@@ -133,8 +133,8 @@ let strategy ?(window = 50) ?(exploration = 0.5) ?subs () : Strategy.t =
       Array.iter
         (fun s ->
           match s with
-          | Some f when f > st.best_fitness ->
-            st.best_fitness <- f;
+          | Some sc when sc.Strategy.scalar > st.best_fitness ->
+            st.best_fitness <- sc.Strategy.scalar;
             improved := true
           | _ -> ())
         scores;

@@ -139,11 +139,13 @@ let strategy ?(params = default_params) () : Strategy.t =
       st.population
 
     let tell st ~rng:_ ~genomes:_ ~scores =
-      (* merge into the persistent score table; [None] (budget exhausted
-         before this genome) keeps the stale value, exactly as the
-         pre-refactor engine did *)
+      (* merge the scalarized fitness into the persistent score table;
+         [None] (budget exhausted before this genome) keeps the stale
+         value, exactly as the pre-refactor engine did *)
       Array.iteri
         (fun i s ->
-          match s with Some f -> st.scores.(i) <- f | None -> ())
+          match s with
+          | Some sc -> st.scores.(i) <- sc.Strategy.scalar
+          | None -> ())
         scores
   end)

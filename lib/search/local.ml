@@ -57,13 +57,13 @@ let hill_climb () : Strategy.t =
       Array.iteri
         (fun i s ->
           match s with
-          | Some f
-            when f > st.current_fitness
+          | Some sc
+            when sc.Strategy.scalar > st.current_fitness
                  || (st.phase = Start && st.current = [||]) ->
             (* the seed-batch guard adopts *some* point even on a
                degenerate all-equal landscape so climbing can start *)
             st.current <- Array.copy genomes.(i);
-            st.current_fitness <- f;
+            st.current_fitness <- sc.Strategy.scalar;
             improved := true
           | _ -> ())
         scores;
@@ -138,7 +138,8 @@ let anneal ?(batch = 8) ?(t0 = 0.08) ?(t_end = 0.002) () : Strategy.t =
         (fun i s ->
           match s with
           | None -> ()
-          | Some f ->
+          | Some sc ->
+            let f = sc.Strategy.scalar in
             st.told <- st.told + 1;
             let accept =
               st.current = [||]

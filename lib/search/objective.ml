@@ -1,0 +1,260 @@
+(* Named fitness axes and their scalarization (ROADMAP item #1).
+
+   An objective spec is an ordered list of (axis, weight) pairs — the
+   axis order fixes the meaning of every fitness vector that flows
+   through {!Engine.run}, the Pareto archive, the tuner database and
+   BENCH_pareto.json.  All axes are maximized:
+
+   - [ncd]      binary difference against the caller's baseline (the
+                paper's objective); injected, because the LZ machinery
+                and the baseline live with the tuner;
+   - [gadgets]  negated code-reuse gadget census size (Brown et al.,
+                "Not So Fast"): fewer unique gadget tails is better;
+   - [size]     negated binary size in bytes;
+   - [evasion]  provenance-classifier evasion (BinPro adversary):
+                the classifier's distance to its nearest preset
+                centroid; injected, because the trained model is the
+                caller's.
+
+   The static axes ([gadgets], [size]) are computed from one shared
+   {!Binsight.Report.inspect} call per distinct binary, memoized in a
+   [Compress.Sizecache]-style content-addressed LRU; the injected axes
+   get their own per-axis memos so re-proposed genomes never re-pay
+   classification or compression. *)
+
+type axis = Ncd | Gadgets | Size | Evasion
+
+let all_axes = [ Ncd; Gadgets; Size; Evasion ]
+
+let axis_name = function
+  | Ncd -> "ncd"
+  | Gadgets -> "gadgets"
+  | Size -> "size"
+  | Evasion -> "evasion"
+
+let axis_of_name = function
+  | "ncd" -> Ncd
+  | "gadgets" -> Gadgets
+  | "size" -> Size
+  | "evasion" -> Evasion
+  | other ->
+    invalid_arg
+      (Printf.sprintf "Objective: unknown axis %S (expected %s)" other
+         (String.concat "|" (List.map axis_name all_axes)))
+
+type spec = (axis * float) list
+
+let default : spec = [ (Ncd, 1.0) ]
+
+let names spec = List.map (fun (a, _) -> axis_name a) spec
+let arity = List.length
+
+(* The paper's original problem: one NCD axis at unit weight.  This is
+   the case every scalar bit-identity sentinel runs through. *)
+let is_scalar_ncd = function [ (Ncd, w) ] -> w = 1.0 | _ -> false
+
+(* "ncd,gadgets:0.5,size" — comma-separated axes, each optionally
+   weighted with [:w].  Duplicate axes and non-positive weights are
+   rejected; an empty spec is rejected. *)
+let parse s =
+  let parts =
+    List.filter (fun p -> p <> "") (String.split_on_char ',' (String.trim s))
+  in
+  if parts = [] then invalid_arg "Objective.parse: empty objective spec";
+  let parse_one p =
+    match String.index_opt p ':' with
+    | None -> (axis_of_name (String.trim p), 1.0)
+    | Some i ->
+      let name = String.trim (String.sub p 0 i) in
+      let w = String.trim (String.sub p (i + 1) (String.length p - i - 1)) in
+      let w =
+        match float_of_string_opt w with
+        | Some w when w > 0.0 && w = w (* not nan *) -> w
+        | _ ->
+          invalid_arg
+            (Printf.sprintf
+               "Objective.parse: bad weight %S for axis %S (want a \
+                positive float)"
+               w name)
+      in
+      (axis_of_name name, w)
+  in
+  let spec = List.map parse_one parts in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (a, _) ->
+      if Hashtbl.mem seen a then
+        invalid_arg
+          (Printf.sprintf "Objective.parse: duplicate axis %S" (axis_name a));
+      Hashtbl.replace seen a ())
+    spec;
+  spec
+
+let to_string spec =
+  String.concat ","
+    (List.map
+       (fun (a, w) ->
+         if w = 1.0 then axis_name a
+         else Printf.sprintf "%s:%g" (axis_name a) w)
+       spec)
+
+(* Weighted-sum scalarization.  The 1-axis unit-weight case returns the
+   single component unchanged — [1.0 *. f] is [f] in IEEE, but keeping
+   it literal makes the scalar path's bit-identity self-evident — and
+   the general case folds from the first term (never from [0.0], which
+   would lose the sign of [-0.0]). *)
+let scalarize spec =
+  match spec with
+  | [] -> invalid_arg "Objective.scalarize: empty spec"
+  | [ (_, w) ] when w = 1.0 -> fun (v : float array) -> v.(0)
+  | axes ->
+    let ws = Array.of_list (List.map snd axes) in
+    fun (v : float array) ->
+      if Array.length v <> Array.length ws then
+        invalid_arg "Objective.scalarize: fitness arity mismatch";
+      let acc = ref (ws.(0) *. v.(0)) in
+      for i = 1 to Array.length ws - 1 do
+        acc := !acc +. (ws.(i) *. v.(i))
+      done;
+      !acc
+
+(* --- per-axis memos ------------------------------------------------- *)
+
+(* A Sizecache-style content-addressed LRU, generic in the value: one
+   mutex around table + recency, compute outside the lock, keep-first on
+   racing duplicates (axis evaluation is deterministic, so the first
+   value is the value).  Recency is an insertion clock; eviction scans
+   for the stalest entry — fronts and populations keep these tables far
+   below capacity, so the O(n) scan never shows up in a profile. *)
+module Memo = struct
+  type 'v t = {
+    capacity : int;
+    table : (string, 'v * int ref) Hashtbl.t;
+    lock : Mutex.t;
+    mutable clock : int;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create capacity =
+    {
+      capacity = max 1 capacity;
+      table = Hashtbl.create (min 1024 (max 16 capacity));
+      lock = Mutex.create ();
+      clock = 0;
+      hits = 0;
+      misses = 0;
+    }
+
+  let evict_stalest t =
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k (_, tick) ->
+        match !victim with
+        | Some (_, best) when !tick >= best -> ()
+        | _ -> victim := Some (k, !tick))
+      t.table;
+    match !victim with None -> () | Some (k, _) -> Hashtbl.remove t.table k
+
+  let find_or_compute t key compute =
+    Mutex.lock t.lock;
+    match Hashtbl.find_opt t.table key with
+    | Some (v, tick) ->
+      t.hits <- t.hits + 1;
+      t.clock <- t.clock + 1;
+      tick := t.clock;
+      Mutex.unlock t.lock;
+      Telemetry.add_count "objective.memo.hit";
+      v
+    | None ->
+      t.misses <- t.misses + 1;
+      Mutex.unlock t.lock;
+      Telemetry.add_count "objective.memo.miss";
+      let v = compute () in
+      Mutex.lock t.lock;
+      if not (Hashtbl.mem t.table key) then begin
+        t.clock <- t.clock + 1;
+        Hashtbl.replace t.table key (v, ref t.clock);
+        if Hashtbl.length t.table > t.capacity then evict_stalest t
+      end;
+      Mutex.unlock t.lock;
+      v
+
+  let stats t =
+    Mutex.lock t.lock;
+    let s = (t.hits, t.misses) in
+    Mutex.unlock t.lock;
+    s
+end
+
+let digest (bin : Isa.Binary.t) =
+  Digest.string bin.Isa.Binary.text ^ Digest.string bin.Isa.Binary.data
+
+(* --- the evaluator -------------------------------------------------- *)
+
+type evaluator = {
+  spec : spec;
+  eval_axes : (Isa.Binary.t -> float) array;  (** one per spec axis *)
+  memos : (string * float Memo.t) list;  (** (axis name, memo) *)
+  inspect_memo : (float * float) Memo.t;
+      (** digest -> (gadgets, size): both static axes off one inspect *)
+}
+
+let default_capacity = 512
+
+let evaluator ?(gadget_k = Binsight.Gadgets.default_k)
+    ?(capacity = default_capacity) ?ncd ?evasion spec =
+  if spec = [] then invalid_arg "Objective.evaluator: empty spec";
+  let inspect_memo = Memo.create capacity in
+  let statics bin =
+    Memo.find_or_compute inspect_memo (digest bin) (fun () ->
+        let r =
+          Telemetry.with_span "objective.inspect" (fun () ->
+              Binsight.Report.inspect ~gadget_k bin)
+        in
+        let census = r.Binsight.Report.r_gadgets in
+        ( -.float_of_int (List.length census.Binsight.Gadgets.c_unique),
+          -.float_of_int (Isa.Binary.size bin) ))
+  in
+  let injected name hook memo =
+    match hook with
+    | Some f -> fun bin -> Memo.find_or_compute memo (digest bin) (fun () -> f bin)
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Objective.evaluator: the %S axis needs an evaluation hook \
+            (it depends on caller state: a baseline binary or a trained \
+            classifier)"
+           name)
+  in
+  let memos = ref [] in
+  let eval_of_axis = function
+    | Gadgets -> fun bin -> fst (statics bin)
+    | Size -> fun bin -> snd (statics bin)
+    | Ncd ->
+      let memo = Memo.create capacity in
+      memos := ("ncd", memo) :: !memos;
+      injected "ncd" ncd memo
+    | Evasion ->
+      let memo = Memo.create capacity in
+      memos := ("evasion", memo) :: !memos;
+      injected "evasion" evasion memo
+  in
+  let eval_axes = Array.of_list (List.map (fun (a, _) -> eval_of_axis a) spec) in
+  { spec; eval_axes; memos = List.rev !memos; inspect_memo }
+
+let evaluate ev bin = Array.map (fun f -> f bin) ev.eval_axes
+
+(* (memo name, hits, misses) for every memo the evaluator owns — the
+   tuner folds these into its cache counters. *)
+let memo_counts ev =
+  let inspect =
+    let h, m = Memo.stats ev.inspect_memo in
+    [ ("inspect", h, m) ]
+  in
+  inspect
+  @ List.map
+      (fun (name, memo) ->
+        let h, m = Memo.stats memo in
+        (name, h, m))
+      ev.memos

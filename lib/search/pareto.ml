@@ -1,0 +1,150 @@
+(* Pareto-front archive for vector fitness (ROADMAP item #1).
+
+   The archive keeps a set of mutually non-dominated (genome, fitness
+   vector) entries — every axis is maximized.  Inserts are passive with
+   respect to the search: they consume no randomness and never feed back
+   into strategy decisions, so wiring an archive into {!Engine.run}
+   leaves the scalar search trace bit-identical (the frozen-GA
+   differential and the table1 sentinel both hold with the archive on).
+
+   Invariants (QCheck-locked in test/test_search.ml):
+   - no member dominates another, and no two members share a fitness
+     vector (dedup keeps the first genome seen with a vector);
+   - the member set is insert-order independent up to front equality
+     (for an unbounded archive);
+   - when the bound forces a prune, the crowding-distance victim is
+     never an axis extreme, so the corners of the front survive. *)
+
+type entry = { e_genome : bool array; e_fitness : float array }
+
+type t = {
+  bound : int;  (** max entries kept; crowding-prunes one past this *)
+  mutable entries : entry list;  (** unordered; see invariants above *)
+}
+
+let default_bound = 64
+
+let create ?(bound = default_bound) () = { bound = max 1 bound; entries = [] }
+
+let size t = List.length t.entries
+
+(* [a] dominates [b]: at least as good on every axis, strictly better on
+   one.  Equal vectors dominate in neither direction. *)
+let dominates a b =
+  let n = Array.length a in
+  if Array.length b <> n then
+    invalid_arg "Pareto.dominates: fitness arity mismatch";
+  let ge = ref true and gt = ref false in
+  for i = 0 to n - 1 do
+    if a.(i) < b.(i) then ge := false;
+    if a.(i) > b.(i) then gt := true
+  done;
+  !ge && !gt
+
+let vec_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x <> b.(i) then ok := false) a;
+  !ok
+
+(* Lexicographic vector order — the deterministic tie-break everywhere a
+   choice between equally-ranked entries must not depend on list
+   order. *)
+let vec_compare a b = compare (Array.to_list a) (Array.to_list b)
+
+(* NSGA-II crowding distance per entry: per axis, extremes score
+   [infinity], interior entries the normalized gap between their sorted
+   neighbours, summed over axes.  The axis sort breaks value ties by the
+   full vector so the distances are a function of the entry set alone. *)
+let crowding_distances entries =
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  let d = Array.make n 0.0 in
+  if n > 0 then begin
+    let naxes = Array.length arr.(0).e_fitness in
+    for ax = 0 to naxes - 1 do
+      let idx = Array.init n (fun i -> i) in
+      Array.sort
+        (fun i j ->
+          let c = compare arr.(i).e_fitness.(ax) arr.(j).e_fitness.(ax) in
+          if c <> 0 then c else vec_compare arr.(i).e_fitness arr.(j).e_fitness)
+        idx;
+      d.(idx.(0)) <- infinity;
+      d.(idx.(n - 1)) <- infinity;
+      let lo = arr.(idx.(0)).e_fitness.(ax)
+      and hi = arr.(idx.(n - 1)).e_fitness.(ax) in
+      let span = hi -. lo in
+      if span > 0.0 then
+        for k = 1 to n - 2 do
+          d.(idx.(k)) <-
+            d.(idx.(k))
+            +. (arr.(idx.(k + 1)).e_fitness.(ax)
+               -. arr.(idx.(k - 1)).e_fitness.(ax))
+               /. span
+        done
+    done
+  end;
+  (arr, d)
+
+(* Evict the single most crowded (lowest-distance) entry; ties fall to
+   the lexicographically smallest vector.  Axis extremes carry infinite
+   distance, so they are only ever evicted when every entry is an
+   extreme — a front no larger than 2·axes, which a sane bound never
+   forces. *)
+let prune_one t =
+  let arr, d = crowding_distances t.entries in
+  let victim = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      if
+        d.(i) < d.(!victim)
+        || (d.(i) = d.(!victim)
+           && vec_compare arr.(i).e_fitness arr.(!victim).e_fitness < 0)
+      then victim := i)
+    arr;
+  t.entries <-
+    List.filteri (fun i _ -> i <> !victim) (Array.to_list arr);
+  arr.(!victim)
+
+(* Insert a candidate.  Returns [true] iff the candidate is a member of
+   the front after the insert (i.e. it was non-dominated, not a
+   duplicate vector, and not itself the crowding victim). *)
+let insert t genome fitness =
+  (match t.entries with
+  | e :: _ when Array.length e.e_fitness <> Array.length fitness ->
+    invalid_arg "Pareto.insert: fitness arity mismatch"
+  | _ -> ());
+  let rejected =
+    List.exists
+      (fun e -> vec_equal e.e_fitness fitness || dominates e.e_fitness fitness)
+      t.entries
+  in
+  if rejected then false
+  else begin
+    let survivors =
+      List.filter (fun e -> not (dominates fitness e.e_fitness)) t.entries
+    in
+    let entry = { e_genome = Array.copy genome; e_fitness = Array.copy fitness } in
+    t.entries <- survivors @ [ entry ];
+    if List.length t.entries > t.bound then begin
+      let victim = prune_one t in
+      not (victim == entry)
+    end
+    else true
+  end
+
+(* The front in a deterministic order: fitness vectors descending
+   lexicographically (vectors are unique by the dedup invariant). *)
+let front t =
+  List.map
+    (fun e -> (Array.copy e.e_genome, Array.copy e.e_fitness))
+    (List.sort (fun a b -> vec_compare b.e_fitness a.e_fitness) t.entries)
+
+let is_non_dominated entries =
+  List.for_all
+    (fun (_, a) ->
+      List.for_all
+        (fun (_, b) -> a == b || not (dominates b a))
+        entries)
+    entries

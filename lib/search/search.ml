@@ -1,10 +1,13 @@
 (* Facade of the pluggable search layer: re-exports the strategy
-   contract, the shared engine, and the strategy registry.  Everything
-   downstream (tuner, CLI, bench drivers, tests) goes through [Search];
-   the internal modules stay hidden behind the wrapped library. *)
+   contract, the shared engine, the objective axes, the Pareto archive,
+   and the strategy registry.  Everything downstream (tuner, CLI, bench
+   drivers, tests) goes through [Search]; the internal modules stay
+   hidden behind the wrapped library. *)
 
 module Strategy = Strategy
 module Engine = Engine
+module Objective = Objective
+module Pareto = Pareto
 module Genetic = Genetic
 module Local = Local
 module Baseline = Baseline
@@ -22,11 +25,15 @@ type termination = Strategy.termination = {
   plateau_epsilon : float;
 }
 
+type score = Strategy.score = { vec : float array; scalar : float }
+
 type outcome = Strategy.outcome = {
   best : bool array;
   best_fitness : float;
+  best_vector : float array;
   evaluations : int;
   history : (int * float) list;
+  front : (bool array * float array) list;
 }
 
 module type STRATEGY = Strategy.STRATEGY
@@ -36,6 +43,24 @@ type strategy = Strategy.t
 let default_termination = Strategy.default_termination
 let name = Strategy.name
 let run = Engine.run
+
+(* The 1-objective convenience wrapper: scalar fitness in, scalar
+   bookkeeping out.  Wrapping every score in a singleton vector and
+   scalarizing with the (default) identity leaves the engine's decision
+   trace bit-identical to the pre-vector float engine — this is the
+   entry point the frozen-GA differential locks. *)
+let run_scalar ?batch_fitness ?notify_incumbent ?archive ~rng ~termination
+    ~problem ~fitness strategy =
+  let batch_fitness =
+    match batch_fitness with
+    | None -> None
+    | Some f -> Some (fun genomes -> Array.map (fun x -> [| x |]) (f genomes))
+  in
+  Engine.run ?batch_fitness ?notify_incumbent ?archive ~rng ~termination
+    ~problem
+    ~fitness:(fun g -> [| fitness g |])
+    strategy
+
 let all_names = [ "ga"; "hill"; "anneal"; "random"; "ensemble" ]
 
 let of_name = function

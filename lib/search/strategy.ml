@@ -27,11 +27,24 @@ type termination = {
 let default_termination =
   { max_evaluations = 2000; plateau_window = 120; plateau_epsilon = 0.0035 }
 
+(* What a strategy is told about one evaluated genome: the raw objective
+   vector (axis order fixed by the caller's {!Objective.spec}) plus the
+   engine's scalarization of it.  Every strategy decision — tournament
+   ranks, hill-climb adoption, Metropolis acceptance, bandit credit —
+   compares [scalar] only, so on a 1-objective run (where the engine's
+   scalarization is the identity) the decision trace is bit-identical to
+   the pre-vector float engine. *)
+type score = { vec : float array; scalar : float }
+
 type outcome = {
-  best : bool array;
-  best_fitness : float;
+  best : bool array;  (** best genome under the scalarization *)
+  best_fitness : float;  (** its scalarized fitness *)
+  best_vector : float array;  (** its raw objective vector *)
   evaluations : int;
   history : (int * float) list;
+  front : (bool array * float array) list;
+      (** the Pareto archive at termination, vectors descending
+          lexicographically; a singleton on 1-objective runs *)
 }
 
 module type STRATEGY = sig
@@ -56,12 +69,13 @@ module type STRATEGY = sig
     state ->
     rng:Util.Rng.t ->
     genomes:bool array array ->
-    scores:float option array ->
+    scores:score option array ->
     unit
   (** Receive the scores for the batch the last {!ask} proposed, element
       for element.  [None] marks a genome the budget ran out before —
       treat it as unevaluated.  Cached genomes come back with their
-      cached score at zero budget cost. *)
+      cached score at zero budget cost.  Strategies rank candidates by
+      [scalar]; [vec] is along for archive-aware extensions. *)
 end
 
 type t = (module STRATEGY)

@@ -160,7 +160,7 @@ let prop_database_lookup_matches_fresh =
       let fresh = Toolchain.Pipeline.compile_flags profile vector prog in
       let recomputed = Bintuner.Tuner.fitness_of_binaries fresh baseline in
       Bintuner.Database.lookup run vector = Some recorded
-      && recomputed = recorded)
+      && recorded = [| recomputed |])
 
 (* --- the NCD size cache --- *)
 

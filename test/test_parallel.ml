@@ -182,7 +182,8 @@ let diff_term =
 
 let entry_list r =
   List.map
-    (fun e -> (Array.to_list e.Bintuner.Tuner.vector, e.Bintuner.Tuner.ncd))
+    (fun e ->
+      (Array.to_list e.Bintuner.Tuner.vector, Array.to_list e.Bintuner.Tuner.fitness))
     r.Bintuner.Tuner.database
 
 let check_tune_equal label (a : Bintuner.Tuner.result)

@@ -19,7 +19,7 @@ let no_plateau budget =
 let run_strategy ?batch_fitness ~seed ~ngenes ~budget ~seeds ~repair ~fitness
     strategy =
   let rng = Util.Rng.create seed in
-  Search.run ?batch_fitness ~rng ~termination:(no_plateau budget)
+  Search.run_scalar ?batch_fitness ~rng ~termination:(no_plateau budget)
     ~problem:{ Search.ngenes; seeds; repair }
     ~fitness strategy
 
@@ -180,7 +180,7 @@ let test_plateau_stops_every_strategy () =
     (fun name ->
       let rng = Util.Rng.create 3 in
       let o =
-        Search.run ~rng
+        Search.run_scalar ~rng
           ~termination:
             { Search.max_evaluations = 10_000;
               plateau_window = 32;
@@ -214,7 +214,7 @@ let test_strategies_respect_real_constraints () =
           [ "O1"; "O2"; "O3"; "Os" ]
       in
       ignore
-        (Search.run ~rng ~termination:(no_plateau 40)
+        (Search.run_scalar ~rng ~termination:(no_plateau 40)
            ~problem:
              {
                Search.ngenes;
@@ -297,7 +297,7 @@ let frozen_vs_search ~seed ~ngenes ~budget ~window ~epsilon ~seeds ~fitness
   in
   let ported =
     let rng = Util.Rng.create seed in
-    Search.run ~rng ~termination
+    Search.run_scalar ~rng ~termination
       ~problem:{ Search.ngenes; seeds; repair = make_repair rng }
       ~fitness
       (Search.Genetic.strategy ())
@@ -348,6 +348,174 @@ let test_ga_differential_landscapes () =
       ("onemax long run", 3, 300, 60, 0.001, false);
     ]
 
+(* --- the Pareto archive --- *)
+
+(* deterministic pseudo-random (genome, fitness-vector) pools: the
+   properties below need arbitrary insert sequences without threading a
+   QCheck generator through arrays *)
+let pareto_pool ~seed ~axes n =
+  List.init n (fun i ->
+      let h k = Hashtbl.hash (seed, i, k) in
+      let genome = Array.init 8 (fun b -> (h (-1)) land (1 lsl b) <> 0) in
+      let vec = Array.init axes (fun a -> float_of_int (h a mod 17) /. 4.0) in
+      (genome, vec))
+
+let prop_pareto_front_non_dominated =
+  QCheck.Test.make
+    ~name:"pareto archive: no front member dominates another" ~count:200
+    QCheck.(pair small_nat small_nat)
+    (fun (seed, n) ->
+      let axes = 1 + (seed mod 3) in
+      let t = Search.Pareto.create ~bound:8 () in
+      List.iter
+        (fun (g, v) -> ignore (Search.Pareto.insert t g v : bool))
+        (pareto_pool ~seed ~axes (1 + (n mod 40)));
+      let front = Search.Pareto.front t in
+      Search.Pareto.is_non_dominated front
+      && List.length front <= 8
+      && List.length front >= 1)
+
+let prop_pareto_order_insensitive =
+  QCheck.Test.make
+    ~name:"pareto archive: front independent of insert order (unpruned)"
+    ~count:200 QCheck.small_nat
+    (fun seed ->
+      let pool = pareto_pool ~seed ~axes:2 30 in
+      let build order =
+        (* bound past the pool size: the crowding prune never fires, so
+           the archive is exactly the non-dominated set of the inserts *)
+        let t = Search.Pareto.create ~bound:100 () in
+        List.iter (fun (g, v) -> ignore (Search.Pareto.insert t g v : bool)) order;
+        List.map snd (Search.Pareto.front t)
+      in
+      build pool = build (List.rev pool))
+
+let test_pareto_crowding_keeps_extremes () =
+  (* an anti-correlated diagonal is all mutually non-dominated: pruning
+     down to a tight bound must keep both per-axis extremes (crowding
+     distance infinity), sacrificing only interior points *)
+  let t = Search.Pareto.create ~bound:4 () in
+  let n = 32 in
+  for i = 0 to n - 1 do
+    let g = Array.init 8 (fun b -> i land (1 lsl b) <> 0) in
+    ignore
+      (Search.Pareto.insert t g
+         [| float_of_int i; float_of_int (n - 1 - i) |]
+        : bool)
+  done;
+  let front = List.map snd (Search.Pareto.front t) in
+  Alcotest.(check int) "pruned to the bound" 4 (List.length front);
+  Alcotest.(check bool) "axis-0 extreme kept" true
+    (List.exists (fun v -> v.(0) = float_of_int (n - 1)) front);
+  Alcotest.(check bool) "axis-1 extreme kept" true
+    (List.exists (fun v -> v.(1) = float_of_int (n - 1)) front)
+
+let test_pareto_dominated_never_enters () =
+  let t = Search.Pareto.create ~bound:8 () in
+  let g i = Array.init 4 (fun b -> i land (1 lsl b) <> 0) in
+  Alcotest.(check bool) "first point enters" true
+    (Search.Pareto.insert t (g 1) [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "dominated point rejected" false
+    (Search.Pareto.insert t (g 2) [| 0.5; 1.0 |]);
+  Alcotest.(check bool) "duplicate vector rejected" false
+    (Search.Pareto.insert t (g 3) [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "dominating point evicts" true
+    (Search.Pareto.insert t (g 4) [| 2.0; 2.0 |]);
+  Alcotest.(check int) "only the dominator remains" 1 (Search.Pareto.size t)
+
+(* --- the vector engine's 1-objective path is the scalar engine --- *)
+
+let test_vector_engine_matches_scalar_on_every_strategy () =
+  (* same fitness exposed two ways: the historical scalar hook, and a
+     2-axis vector whose scalarization reads axis 0.  Every strategy
+     must produce the identical trajectory — strategies rank on the
+     scalarized score, and the archive consumes no randomness. *)
+  List.iter
+    (fun name ->
+      let f g = float_of_int (Hashtbl.hash (Array.to_list g) mod 1000) /. 50.0 in
+      let termination = no_plateau 80 in
+      let problem = { Search.ngenes = 14; seeds = []; repair = (fun g -> g) } in
+      let scalar =
+        let rng = Util.Rng.create 31 in
+        Search.run_scalar ~rng ~termination ~problem ~fitness:f
+          (Search.of_name name)
+      in
+      let vector =
+        let rng = Util.Rng.create 31 in
+        Search.run ~rng ~termination ~problem
+          ~scalarize:(fun v -> v.(0))
+          ~axes:[ "ncd"; "aux" ]
+          ~fitness:(fun g -> [| f g; -.f g |])
+          (Search.of_name name)
+      in
+      Alcotest.(check bool)
+        (name ^ ": scalar trajectory = 1-axis-scalarized vector trajectory")
+        true
+        (scalar.Search.best = vector.Search.best
+        && scalar.Search.best_fitness = vector.Search.best_fitness
+        && scalar.Search.evaluations = vector.Search.evaluations
+        && scalar.Search.history = vector.Search.history);
+      Alcotest.(check bool)
+        (name ^ ": vector run reports a non-dominated front")
+        true
+        (vector.Search.front <> []
+        && Search.Pareto.is_non_dominated vector.Search.front))
+    Search.all_names
+
+(* --- plateau termination at non-positive fitness --- *)
+
+let test_plateau_fires_on_negative_fitness () =
+  (* regression: relative gain is meaningless at a non-positive
+     incumbent.  A fitness crawling upward by 1e-9 per evaluation from
+     -10 never plateaued under the old [best <= old_best] rule — the
+     run always burned the whole budget.  The absolute-gain fallback
+     must stop it at the first window check. *)
+  let calls = ref 0 in
+  let fitness _ =
+    incr calls;
+    -10.0 +. (1e-9 *. float_of_int !calls)
+  in
+  List.iter
+    (fun name ->
+      calls := 0;
+      let rng = Util.Rng.create 17 in
+      let o =
+        Search.run_scalar ~rng
+          ~termination:
+            { Search.max_evaluations = 10_000;
+              plateau_window = 32;
+              plateau_epsilon = 0.0035 }
+          ~problem:{ Search.ngenes = 10; seeds = []; repair = (fun g -> g) }
+          ~fitness (Search.of_name name)
+      in
+      Alcotest.(check bool)
+        (name ^ ": plateau fires despite sub-epsilon negative crawl")
+        true
+        (o.Search.evaluations >= 32 && o.Search.evaluations <= 500))
+    Search.all_names
+
+(* --- the objective spec --- *)
+
+let test_objective_parse_and_scalarize () =
+  let spec = Search.Objective.parse "ncd,gadgets:0.5" in
+  Alcotest.(check (list string))
+    "axis names" [ "ncd"; "gadgets" ]
+    (Search.Objective.names spec);
+  Alcotest.(check string) "round-trip" "ncd,gadgets:0.5"
+    (Search.Objective.to_string spec);
+  let s = Search.Objective.scalarize spec in
+  Alcotest.(check (float 1e-12)) "weighted sum" 0.8 (s [| 0.6; 0.4 |]);
+  Alcotest.(check bool) "default is the scalar-NCD spec" true
+    (Search.Objective.is_scalar_ncd Search.Objective.default);
+  Alcotest.(check bool) "weighted ncd is not the scalar path" false
+    (Search.Objective.is_scalar_ncd (Search.Objective.parse "ncd:2"));
+  List.iter
+    (fun bad ->
+      match Search.Objective.parse bad with
+      | _ -> Alcotest.fail ("parse accepted " ^ bad)
+      | exception Invalid_argument _ -> ())
+    [ ""; "ncd,ncd"; "bogus"; "ncd:-1"; "ncd:0"; "gadgets:" ]
+
 let tests =
   [
     QCheck_alcotest.to_alcotest prop_budget;
@@ -369,4 +537,16 @@ let tests =
     QCheck_alcotest.to_alcotest prop_ga_differential;
     Alcotest.test_case "ga differential landscapes" `Quick
       test_ga_differential_landscapes;
+    QCheck_alcotest.to_alcotest prop_pareto_front_non_dominated;
+    QCheck_alcotest.to_alcotest prop_pareto_order_insensitive;
+    Alcotest.test_case "pareto crowding keeps extremes" `Quick
+      test_pareto_crowding_keeps_extremes;
+    Alcotest.test_case "pareto domination rules" `Quick
+      test_pareto_dominated_never_enters;
+    Alcotest.test_case "vector engine matches scalar on every strategy" `Quick
+      test_vector_engine_matches_scalar_on_every_strategy;
+    Alcotest.test_case "plateau fires on negative fitness" `Quick
+      test_plateau_fires_on_negative_fitness;
+    Alcotest.test_case "objective parse and scalarize" `Quick
+      test_objective_parse_and_scalarize;
   ]

@@ -78,6 +78,46 @@ let test_serve_protocol () =
       Alcotest.(check bool) "quit stops the loop" false keep_going;
       Alcotest.(check bool) "quit is polite" true (contains r "\"ok\":true"))
 
+(* The [objective] job parameter: a malformed spec is rejected without
+   killing the daemon, and a 2-axis job's summary carries the axis
+   names, the best score vector and a non-dominated front. *)
+let test_serve_objective_parameter () =
+  let srv = Bintuner.Server.create () in
+  Fun.protect
+    ~finally:(fun () -> Bintuner.Server.close srv)
+    (fun () ->
+      let r, _ = request srv "submit bench=429.mcf objective=bogus" in
+      Alcotest.(check bool) "unknown objective rejected" true
+        (contains r "\"ok\":false");
+      let r, _ = request srv "submit bench=429.mcf objective=ncd,ncd" in
+      Alcotest.(check bool) "duplicate axis rejected" true
+        (contains r "\"ok\":false");
+      Alcotest.(check int) "nothing queued" 0 (Bintuner.Server.queue_depth srv);
+      let r, _ =
+        request srv "tune bench=429.mcf budget=25 objective=ncd,gadgets"
+      in
+      Alcotest.(check bool) "2-axis job ok" true (contains r "\"ok\":true");
+      Alcotest.(check bool) "summary names the axes" true
+        (contains r "\"objectives\":\"ncd,gadgets\"");
+      Alcotest.(check bool) "summary carries the front" true
+        (contains r "\"front_size\":" && contains r "\"best_scores\":");
+      (match Bintuner.Server.completed srv with
+      | [ j ] ->
+        Alcotest.(check (list string))
+          "job summary axes" [ "ncd"; "gadgets" ]
+          j.Bintuner.Server.objectives;
+        Alcotest.(check int) "score arity" 2 (Array.length j.best_scores);
+        Alcotest.(check bool) "front non-empty and non-dominated" true
+          (j.front <> [] && Search.Pareto.is_non_dominated j.front);
+        Alcotest.(check bool) "objective memos saw traffic" true
+          (j.objective_hits + j.objective_misses > 0)
+      | l ->
+        Alcotest.fail
+          (Printf.sprintf "expected 1 completed job, got %d" (List.length l)));
+      let status, _ = request srv "status" in
+      Alcotest.(check bool) "status sums objective counters" true
+        (contains status "\"objective\":"))
+
 (* Two sequential jobs on one daemon: the second must be served largely
    from the first's shared caches — memo hits with a default session,
    persistent-store hits once the memo is too small to shadow the store. *)
@@ -215,6 +255,8 @@ let test_serve_no_leaked_domains () =
 let tests =
   [
     Alcotest.test_case "serve protocol" `Quick test_serve_protocol;
+    Alcotest.test_case "serve objective parameter" `Slow
+      test_serve_objective_parameter;
     Alcotest.test_case "serve cross-job sharing" `Slow
       test_serve_cross_job_sharing;
     Alcotest.test_case "serve warm store = cold tune" `Slow

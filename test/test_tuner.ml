@@ -8,7 +8,7 @@ let quick_term =
 
 let run_ga ?(params = Search.Genetic.default_params) ~rng ~termination ~ngenes
     ~seeds ~repair ~fitness () =
-  Search.run ~rng ~termination
+  Search.run_scalar ~rng ~termination
     ~problem:{ Search.ngenes; seeds; repair }
     ~fitness
     (Search.Genetic.strategy ~params ())
@@ -124,7 +124,9 @@ let test_tuner_database () =
   List.iter
     (fun e ->
       Alcotest.(check bool) "fitness in range" true
-        (e.Bintuner.Tuner.ncd >= 0.0 && e.ncd <= 1.2))
+        (Array.length e.Bintuner.Tuner.fitness = 1
+        && e.fitness.(0) >= 0.0
+        && e.fitness.(0) <= 1.2))
     r.database
 
 let test_tuner_vector_valid () =
@@ -195,7 +197,8 @@ let test_database_escaped_names () =
       profile = "gcc 10.2";
       arch = "x86-64";
       flag_names = [ "-funroll loops"; "100% weird,name"; "plain" ];
-      entries = [ ([| true; false; true |], 0.25) ];
+      objectives = [ "ncd" ];
+      entries = [ ([| true; false; true |], [| 0.25 |]) ];
       best = [| false; true; false |];
     }
   in
@@ -217,6 +220,7 @@ let test_database_rejects_bad_lengths () =
       profile = "p";
       arch = "a";
       flag_names = [ "f1"; "f2" ];
+      objectives = [ "ncd" ];
       entries;
       best;
     }
@@ -226,9 +230,10 @@ let test_database_rejects_bad_lengths () =
     | _ -> Alcotest.fail (label ^ ": expected a load failure")
     | exception Failure _ -> ()
   in
-  expect_failure "short best" [ run [| true |] [ ([| true; false |], 0.1) ] ];
+  expect_failure "short best"
+    [ run [| true |] [ ([| true; false |], [| 0.1 |]) ] ];
   expect_failure "long entry"
-    [ run [| true; false |] [ ([| true; false; true |], 0.1) ] ]
+    [ run [| true; false |] [ ([| true; false; true |], [| 0.1 |]) ] ]
 
 let prop_database_roundtrip =
   (* arbitrary printable names (spaces, commas, percent signs, newlines)
@@ -248,7 +253,8 @@ let prop_database_roundtrip =
           profile = "p 1";
           arch = "a";
           flag_names;
-          entries = [ (vec 0, 0.5); (vec 1, 0.75) ];
+          objectives = [ "ncd" ];
+          entries = [ (vec 0, [| 0.5 |]); (vec 1, [| 0.75 |]) ];
           best = vec 1;
         }
       in
@@ -270,7 +276,8 @@ let test_database_atomic_save () =
       profile = "p";
       arch = "a";
       flag_names = [ "f1"; "f2" ];
-      entries = [ ([| true; false |], 0.25); ([| false; true |], 0.75) ];
+      objectives = [ "ncd" ];
+      entries = [ ([| true; false |], [| 0.25 |]); ([| false; true |], [| 0.75 |]) ];
       best = [| true; false |];
     }
   in
@@ -333,12 +340,13 @@ let prop_database_fitness_lossless =
           profile = "p";
           arch = "a";
           flag_names = [ "f" ];
-          entries = [ ([| true |], fitness) ];
+          objectives = [ "ncd" ];
+          entries = [ ([| true |], [| fitness |]) ];
           best = [| true |];
         }
       in
       match save_load [ run ] with
-      | [ { Bintuner.Database.entries = [ (_, f') ]; _ } ] ->
+      | [ { Bintuner.Database.entries = [ (_, [| f' |]) ]; _ } ] ->
         Int64.bits_of_float f' = Int64.bits_of_float fitness
       | _ -> false)
 
@@ -353,10 +361,138 @@ let test_database_parses_legacy_decimals () =
       output_string oc "run b p a\nflags f1,f2\nbest 10\ne 10 0.123456\ne 01 -0.000001\nend\n";
       close_out oc;
       match Bintuner.Database.load path with
-      | [ { Bintuner.Database.entries = [ (_, a); (_, b) ]; _ } ] ->
+      | [ { Bintuner.Database.objectives; entries = [ (_, [| a |]); (_, [| b |]) ]; _ } ]
+        ->
+        Alcotest.(check (list string)) "legacy objectives" [ "ncd" ] objectives;
         Alcotest.(check (float 0.0)) "decimal entry" 0.123456 a;
         Alcotest.(check (float 0.0)) "negative decimal entry" (-0.000001) b
       | _ -> Alcotest.fail "legacy file did not load as one two-entry run")
+
+(* A legacy scalar file must also load under an explicit scalar-NCD
+   request, and keep loading after a save — the migration path: old
+   database in, vector database out, nothing lost. *)
+let test_database_legacy_migration_roundtrip () =
+  let path = Filename.temp_file "bintuner" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        "run b p a\nflags f1,f2\nbest 10\ne 10 0.123456\ne 01 0.75\nend\n";
+      close_out oc;
+      let loaded = Bintuner.Database.load ~objectives:[ "ncd" ] path in
+      Alcotest.(check int) "legacy file loads under scalar request" 1
+        (List.length loaded);
+      (* re-save: the file is upgraded to the vector format in place *)
+      Bintuner.Database.save path loaded;
+      let again = Bintuner.Database.load ~objectives:[ "ncd" ] path in
+      Alcotest.(check bool) "migrated file round-trips" true
+        (List.map
+           (fun r ->
+             (r.Bintuner.Database.objectives, r.entries, r.best))
+           again
+        = List.map
+            (fun r ->
+              (r.Bintuner.Database.objectives, r.entries, r.best))
+            loaded))
+
+(* Mixing fitness vectors of different meaning must be impossible: a
+   run tuned for other axes is rejected by an ?objectives load, and a
+   file whose entries disagree with its declared axes never loads. *)
+let test_database_rejects_objective_mismatch () =
+  let run =
+    {
+      Bintuner.Database.benchmark = "b";
+      profile = "p";
+      arch = "a";
+      flag_names = [ "f1"; "f2" ];
+      objectives = [ "ncd"; "gadgets" ];
+      entries = [ ([| true; false |], [| 0.5; -3.0 |]) ];
+      best = [| true; false |];
+    }
+  in
+  let path = Filename.temp_file "bintuner" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bintuner.Database.save path [ run ];
+      (* the matching request and the open request both succeed *)
+      (match Bintuner.Database.load ~objectives:[ "ncd"; "gadgets" ] path with
+      | [ l ] ->
+        Alcotest.(check (list string))
+          "2-axis objectives survive" run.objectives l.objectives;
+        Alcotest.(check bool) "2-axis entries survive" true
+          (l.entries = run.entries)
+      | _ -> Alcotest.fail "2-axis run did not round-trip");
+      (match Bintuner.Database.load ~objectives:[ "ncd" ] path with
+      | _ -> Alcotest.fail "scalar request accepted a 2-axis run"
+      | exception Failure m ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec at i =
+            i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+          in
+          at 0
+        in
+        Alcotest.(check bool) "error names both specs" true
+          (contains m "ncd,gadgets" && contains m "objectives"));
+      (* entries contradicting the declared axes: corrupt, never loads *)
+      let oc = open_out path in
+      output_string oc "run b p a\nflags f1,f2\nobj ncd,gadgets\nbest 10\ne 10 0.5\nend\n";
+      close_out oc;
+      match Bintuner.Database.load path with
+      | _ -> Alcotest.fail "arity mismatch loaded"
+      | exception Failure _ -> ())
+
+(* --- multi-objective tuning end to end --- *)
+
+let test_tuner_multi_objective () =
+  let objectives = Search.Objective.parse "ncd,gadgets" in
+  let r =
+    Bintuner.Tuner.tune
+      ~termination:
+        { Search.max_evaluations = 40; plateau_window = 60; plateau_epsilon = 0.0035 }
+      ~objectives ~profile:Toolchain.Flags.llvm
+      (Corpus.find "462.libquantum")
+  in
+  Alcotest.(check (list string))
+    "result carries the axis names" [ "ncd"; "gadgets" ] r.objectives;
+  Alcotest.(check int) "best_scores arity" 2 (Array.length r.best_scores);
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "database entry arity" 2
+        (Array.length e.Bintuner.Tuner.fitness))
+    r.database;
+  Alcotest.(check bool) "front is non-empty" true (r.front <> []);
+  Alcotest.(check bool) "front is mutually non-dominated" true
+    (Search.Pareto.is_non_dominated r.front);
+  (* the best genome's vector is on the front, and the scalarized best
+     equals the unit-weight sum of its axes *)
+  Alcotest.(check bool) "best scores appear on the front" true
+    (List.exists (fun (_, f) -> f = r.best_scores) r.front);
+  Alcotest.(check (float 1e-9)) "best_ncd is the scalarization"
+    (r.best_scores.(0) +. r.best_scores.(1))
+    r.best_ncd;
+  Alcotest.(check bool) "gadget axis is a negated census (<= 0)" true
+    (r.best_scores.(1) <= 0.0);
+  Alcotest.(check bool) "per-axis memos saw traffic" true
+    (r.objective_hits + r.objective_misses > 0);
+  Alcotest.(check bool) "tuned binary still functional" true r.functional_ok
+
+let test_tuner_multi_objective_deterministic () =
+  let objectives = Search.Objective.parse "ncd,size" in
+  let run () =
+    let r =
+      Bintuner.Tuner.tune
+        ~termination:
+          { Search.max_evaluations = 30; plateau_window = 60; plateau_epsilon = 0.0035 }
+        ~objectives ~profile:Toolchain.Flags.gcc
+        (Corpus.find "429.mcf")
+    in
+    (Array.to_list r.best_vector, r.best_ncd, List.map snd r.front, r.iterations)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same front and best" true (a = b)
 
 (* --- AV fleet --- *)
 
@@ -465,6 +601,13 @@ let tests =
     QCheck_alcotest.to_alcotest prop_database_roundtrip;
     Alcotest.test_case "database atomic save" `Quick test_database_atomic_save;
     QCheck_alcotest.to_alcotest prop_database_fitness_lossless;
+    Alcotest.test_case "database legacy migration" `Quick
+      test_database_legacy_migration_roundtrip;
+    Alcotest.test_case "database objective mismatch" `Quick
+      test_database_rejects_objective_mismatch;
+    Alcotest.test_case "tuner multi-objective" `Slow test_tuner_multi_objective;
+    Alcotest.test_case "tuner multi-objective deterministic" `Slow
+      test_tuner_multi_objective_deterministic;
     Alcotest.test_case "database legacy decimals" `Quick
       test_database_parses_legacy_decimals;
     Alcotest.test_case "av training sample" `Quick test_av_detects_training_sample;

@@ -53,6 +53,13 @@
 #      bit-for-bit, the status report is coherent, and no worker
 #      domains leak; afterwards the frozen greedy table1 sentinel is
 #      re-checked — a daemon run must not perturb the one-shot path.
+#  12. multi-objective smoke gate — a CLI `tune --objective ncd,gadgets`
+#      run must report a non-empty, mutually non-dominated Pareto front
+#      that is byte-identical at -j 1 and -j 2; the `pareto` experiment
+#      must emit a parseable BENCH_pareto.json (non-dominated fronts,
+#      per-axis memo traffic); and the frozen greedy table1 sentinel is
+#      re-checked once more — the vector engine's scalar path must stay
+#      bit-for-bit the pre-refactor engine.
 #
 # Exits non-zero on any failure.
 
@@ -314,4 +321,68 @@ if [ "$sentinel_after_serve" != "$greedy_baseline" ]; then
   exit 1
 fi
 
-echo "ci: OK (sentinel $sentinel_j1, greedy oracle stable, $memo_hits memo hits, ncd cache hits $ncd_hits, all strategies within budget, $(wc -l < "$trace_file") trace events)"
+echo "== ci: multi-objective smoke gate (tune --objective ncd,gadgets) =="
+mo_dir=$(mktemp -d)
+trap 'rm -f "$smoke_log" "$trace_file" "$profile_log"; rm -rf "$ncd_dir" "$search_dir" "$mo_dir"' EXIT
+for j in 1 2; do
+  dune exec bin/bintuner_cli.exe -- tune --bench 429.mcf --profile llvm \
+      --max-iterations 40 -j "$j" --objective ncd,gadgets \
+    | grep -E '^(tuned|objectives:|pareto front:|  front )' > "$mo_dir/tune_j$j.txt"
+done
+cat "$mo_dir/tune_j2.txt"
+cmp -s "$mo_dir/tune_j1.txt" "$mo_dir/tune_j2.txt" \
+  || { echo "ci: FAIL — multi-objective tune differs between -j 1 and -j 2" >&2; exit 1; }
+front_points=$(grep -c '^  front ' "$mo_dir/tune_j2.txt")
+[ "$front_points" -ge 1 ] \
+  || { echo "ci: FAIL — multi-objective tune reported an empty Pareto front" >&2; exit 1; }
+# mutual non-domination of the 2-axis front: the CLI prints it sorted
+# lexicographically descending, so each successive point must trade NCD
+# (axis 1, non-increasing) for strictly more of axis 2
+grep '^  front ' "$mo_dir/tune_j2.txt" \
+  | awk '{gsub(/[][]/, ""); ncd=$3; g=$4
+          if (NR > 1 && (ncd > pn + 1e-9 || g <= pg + 1e-9)) bad=1
+          pn=ncd; pg=g}
+         END {exit bad}' \
+  || { echo "ci: FAIL — CLI Pareto front is not mutually non-dominated" >&2; exit 1; }
+
+echo "== ci: pareto microbench smoke =="
+# scratch cwd so the quick numbers never clobber the committed
+# full-budget BENCH_pareto.json; the experiment itself exits non-zero
+# if any front the archive returns is mutually dominated
+(cd "$mo_dir" && "$root/_build/default/bench/main.exe" -quick -j 2 \
+  -only 462.libquantum pareto) > "$mo_dir/pareto.log"
+[ -s "$mo_dir/BENCH_pareto.json" ] \
+  || { echo "ci: FAIL — pareto microbench wrote no BENCH_pareto.json" >&2; exit 1; }
+if command -v jq >/dev/null 2>&1; then
+  jq -e '(.objectives == ["ncd", "gadgets"]) and (.budget > 0)
+         and ((.runs | length) >= 2)
+         and (.all_fronts_non_dominated == true)
+         and ([.runs[] | select(.front_size < 1)] | length == 0)
+         and ([.runs[] | select((.front | length) != .front_size)] | length == 0)
+         and ([.runs[] | select(.objective_memo_misses < 1)] | length == 0)' \
+    "$mo_dir/BENCH_pareto.json" >/dev/null \
+    || { echo "ci: FAIL — BENCH_pareto.json failed validation" >&2; exit 1; }
+else
+  python3 -c '
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["objectives"] == ["ncd", "gadgets"]
+assert d["budget"] > 0 and len(d["runs"]) >= 2
+assert d["all_fronts_non_dominated"] is True
+for r in d["runs"]:
+    assert r["front_size"] >= 1 and len(r["front"]) == r["front_size"], r
+    assert r["objective_memo_misses"] >= 1, r
+' "$mo_dir/BENCH_pareto.json" \
+    || { echo "ci: FAIL — BENCH_pareto.json failed validation" >&2; exit 1; }
+fi
+
+# the vector engine's 1-objective path claims bit-identity with the
+# pre-refactor scalar engine: the frozen greedy oracle must still hold
+sentinel_after_pareto=$(dune exec bench/main.exe -- -quick -j 2 -lz-level greedy table1 \
+  | grep 'table1 determinism sentinel:' | awk '{print $NF}')
+if [ "$sentinel_after_pareto" != "$greedy_baseline" ]; then
+  echo "ci: FAIL — greedy sentinel drifted after the multi-objective gate ($sentinel_after_pareto vs $greedy_baseline)" >&2
+  exit 1
+fi
+
+echo "ci: OK (sentinel $sentinel_j1, greedy oracle stable, $memo_hits memo hits, ncd cache hits $ncd_hits, all strategies within budget, pareto front $front_points points, $(wc -l < "$trace_file") trace events)"
